@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Measurements on the simulated machine are deterministic; the expensive part
+is the Python-side compilation, so results are cached per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.apps.harness import measure
+
+_CACHE: dict = {}
+
+
+def cached_measure(name, backend="icode", regalloc="linear",
+                   static_opt="lcc", **extra):
+    key = (name, backend, regalloc, static_opt, tuple(sorted(extra.items())))
+    if key not in _CACHE:
+        _CACHE[key] = measure(
+            ALL_APPS[name], backend=backend, regalloc=regalloc,
+            static_opt=static_opt, **extra,
+        )
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def measured():
+    """measured(name, ...) -> MeasureResult with session-level caching."""
+    return cached_measure

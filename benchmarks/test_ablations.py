@@ -1,0 +1,140 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation switches one tcc mechanism off and measures the consequence
+on the benchmark where that mechanism matters most:
+
+* strength reduction of run-time constants  -> ms slows down dramatically
+  (integer multiply costs 20 cycles on this machine, as on the paper's);
+* dynamic loop unrolling                    -> ms pays loop overhead again;
+* the cspec-operand-first evaluation heuristic (5.1) -> deep composition
+  chains spill under VCODE (the paper's Figure 2 problem);
+* VCODE spilling disabled (the paper's "clients can disable the
+  per-instruction if-statements" mode) -> codegen gets cheaper per
+  instruction but register exhaustion becomes a hard error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.apps.harness import measure
+from repro.core.driver import TccCompiler
+from repro.errors import CodegenError
+
+COMPOSE_CHAIN = """
+int build(int n) {
+    int i;
+    int cspec c = `0;
+    int x;
+    x = 1;
+    for (i = 0; i < n; i++)
+        c = `(x + (c + $i));
+    return (int)compile(`{ return c; }, int);
+}
+"""
+
+
+def test_ablation_strength_reduction(benchmark):
+    def run_pair():
+        on = measure(ALL_APPS["ms"], backend="icode",
+                     strength_reduction=True)
+        off = measure(ALL_APPS["ms"], backend="icode",
+                      strength_reduction=False)
+        return on, off
+
+    on, off = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert on.correct and off.correct
+    # without shift/add decomposition every scaled element pays the
+    # 20-cycle multiply
+    assert off.dynamic_cycles > 1.5 * on.dynamic_cycles
+    benchmark.extra_info["ms_cycles"] = {
+        "strength_reduction_on": on.dynamic_cycles,
+        "strength_reduction_off": off.dynamic_cycles,
+    }
+
+
+def test_ablation_dynamic_unrolling(benchmark):
+    def run_pair():
+        on = measure(ALL_APPS["ms"], backend="icode", dynamic_unrolling=True)
+        off = measure(ALL_APPS["ms"], backend="icode",
+                      dynamic_unrolling=False)
+        return on, off
+
+    on, off = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert on.correct and off.correct
+    # the unrolled inner loop avoids per-element compare/branch/increment
+    assert off.dynamic_cycles > 1.2 * on.dynamic_cycles
+    # and the rolled loop generates far fewer instructions
+    assert off.generated_instructions < on.generated_instructions
+    benchmark.extra_info["ms_cycles"] = {
+        "unrolling_on": on.dynamic_cycles,
+        "unrolling_off": off.dynamic_cycles,
+    }
+
+
+def test_ablation_cspec_operand_reordering(benchmark):
+    """tcc 5.1 / Figure 2: without evaluating cspec operands first, a
+    composition chain holds one register per nesting level and VCODE
+    spills."""
+    tcc = TccCompiler()
+    program = tcc.compile(COMPOSE_CHAIN)
+    depth = 40
+
+    def run_pair():
+        out = {}
+        for reorder in (True, False):
+            proc = program.start(backend="vcode",
+                                 reorder_cspec_operands=reorder)
+            entry = proc.run("build", depth)
+            fn = proc.function(entry, "", "i")
+            value = fn()
+            out[reorder] = (value, proc.last_backend.n_spill_slots)
+        return out
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    value_on, spills_on = results[True]
+    value_off, spills_off = results[False]
+    assert value_on == value_off == depth * 1 + sum(range(depth))
+    assert spills_on == 0
+    assert spills_off > 10  # one live register per level minus the pool
+    benchmark.extra_info["spill_slots"] = {
+        "heuristic_on": spills_on, "heuristic_off": spills_off,
+    }
+
+
+def test_ablation_vcode_spills_disabled(benchmark):
+    tcc = TccCompiler()
+    program = tcc.compile(COMPOSE_CHAIN)
+
+    def attempt():
+        # shallow chains fit the register file even without the heuristic
+        proc = program.start(backend="vcode", allow_spills=False)
+        entry = proc.run("build", 5)
+        return proc.function(entry, "", "i")()
+
+    value = benchmark.pedantic(attempt, rounds=1, iterations=1)
+    assert value == 5 + sum(range(5))
+    # deep chains without the reorder heuristic exhaust the pool and the
+    # paper-documented hard error fires
+    proc = program.start(backend="vcode", allow_spills=False,
+                         reorder_cspec_operands=False)
+    with pytest.raises(CodegenError, match="disabled"):
+        proc.run("build", 40)
+
+
+def test_ablation_regalloc_choice(benchmark):
+    def run_pair():
+        ls = measure(ALL_APPS["query"], backend="icode", regalloc="linear")
+        gc = measure(ALL_APPS["query"], backend="icode", regalloc="color")
+        return ls, gc
+
+    ls, gc = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert ls.correct and gc.correct
+    # both allocators produce working code of similar quality; the cost
+    # of producing it differs (Figure 7's subject)
+    assert abs(ls.dynamic_cycles - gc.dynamic_cycles) < \
+        0.2 * ls.dynamic_cycles
+    benchmark.extra_info["codegen_cycles"] = {
+        "linear_scan": ls.codegen_cycles, "graph_coloring": gc.codegen_cycles,
+    }

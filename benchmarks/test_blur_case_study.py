@@ -1,0 +1,67 @@
+"""The xv Blur case study (paper section 6.2, "Putting it all together").
+
+Paper numbers (640x480 image, 3x3 all-ones kernel, SparcStation 5):
+tcc-generated code 1.08 s; lcc-compiled static code 1.96 s (1.8x); GNU CC
+-O 1.04 s; dynamic compilation took 0.01 s with the ICODE back end.
+
+The reproduction runs a scaled-down image by default (the simulated
+machine interprets every instruction); set REPRO_BLUR_FULL=1 for 640x480.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import cached_measure
+from repro.apps import ALL_APPS
+from repro.apps.harness import _program
+
+
+def test_blur_dynamic_pipeline(benchmark):
+    app = ALL_APPS["blur"]
+
+    def blur_once():
+        prog = _program(app)
+        proc = prog.start(backend="icode")
+        ctx = app.setup(proc)
+        entry = proc.run(app.builder, *app.builder_args(ctx))
+        fn = proc.function(entry, app.dyn_signature, app.dyn_returns)
+        return app.dyn_call(fn, ctx)
+
+    result = benchmark.pedantic(blur_once, rounds=1, iterations=1)
+    prog = _program(app)
+    proc = prog.start()
+    assert result == app.expected(app.setup(proc))
+
+
+def test_blur_vs_lcc_static(benchmark):
+    def ratio():
+        return cached_measure("blur", static_opt="lcc").speedup
+
+    speedup = benchmark.pedantic(ratio, rounds=1, iterations=1)
+    # paper: 1.96 / 1.08 = 1.81x over lcc-level code
+    assert 1.3 < speedup < 4.0, speedup
+    benchmark.extra_info["speedup_vs_lcc"] = round(speedup, 2)
+
+
+def test_blur_vs_gcc_static(benchmark):
+    def ratio():
+        return cached_measure("blur", static_opt="gcc").speedup
+
+    speedup = benchmark.pedantic(ratio, rounds=1, iterations=1)
+    # paper: dynamic code roughly matches (slightly trails) gcc -O; our
+    # optimizer gap is smaller, so dynamic code stays ahead — require only
+    # that the gcc-level ratio is smaller than the lcc-level one
+    lcc = cached_measure("blur", static_opt="lcc").speedup
+    assert speedup <= lcc
+    benchmark.extra_info["speedup_vs_gcc"] = round(speedup, 2)
+
+
+def test_blur_codegen_cost_small(benchmark):
+    def fraction():
+        r = cached_measure("blur")
+        return r.codegen_cycles / r.dynamic_cycles
+
+    frac = benchmark.pedantic(fraction, rounds=1, iterations=1)
+    # paper: 0.01s codegen vs 1.08s run (~1%); at our reduced default image
+    # size one run is ~100x smaller, so the bound scales accordingly
+    assert frac < 1.0
+    benchmark.extra_info["codegen_fraction_of_one_run"] = round(frac, 3)

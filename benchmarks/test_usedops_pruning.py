@@ -1,0 +1,36 @@
+"""Section 5.2: link-time pruning of the ICODE-to-binary translator.
+
+Paper: "This simple trick cuts the size of the ICODE library by up to an
+order of magnitude for most programs, reducing them to approximately the
+size of equivalent C programs."  Our simulated ISA is smaller than ICODE's
+several-hundred-opcode cross product, so the achievable factor is smaller;
+the *shape* — most programs touch a small fraction of the instruction set —
+is what this reproduces.
+"""
+
+from __future__ import annotations
+
+from repro import TccCompiler
+from repro.analysis import collect_used_ops
+from repro.analysis.usedops import FULL_ISA_SIZE
+from repro.apps import ALL_APPS
+
+
+def test_usedops_pruning(benchmark):
+    tcc = TccCompiler()
+
+    def analyze_all():
+        return {
+            name: collect_used_ops(tcc.compile(app.source))
+            for name, app in ALL_APPS.items()
+        }
+
+    reports = benchmark(analyze_all)
+    factors = {name: r.reduction_factor for name, r in reports.items()}
+    assert all(f > 1.5 for f in factors.values()), factors
+    assert max(factors.values()) >= 4.0, factors
+    # every app uses well under half the instruction set
+    assert all(r.used_count < FULL_ISA_SIZE / 2 for r in reports.values())
+    benchmark.extra_info["reduction_factors"] = {
+        k: round(v, 1) for k, v in factors.items()
+    }

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: compile and run your first `C (Tick-C) program.
+
+`C extends ANSI C with two operators:
+
+* backquote  `expr   — specify code to be generated at run time,
+* $expr             — bind the *current* value of expr into that code as a
+                      run-time constant,
+
+plus the types ``T cspec`` (a code specification evaluating to T) and
+``T vspec`` (a dynamically created variable).  ``compile(cspec, T)`` turns a
+specification into executable code and returns the function pointer.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TccCompiler
+
+SOURCE = r"""
+/* The paper's hello-world (section 3). */
+void hello(void) {
+    void cspec code = `{ print_str("hello, dynamic world!\n"); };
+    ((void (*)(void))compile(code, void))();
+}
+
+/* Specialization: make_adder returns a function hardwired to add n. */
+int make_adder(int n) {
+    int vspec x = param(int, 0);
+    int cspec body = `(x + $n);
+    return (int)compile(body, int);
+}
+
+/* Composition: build sum_{i=1..n} (i * x) one term at a time. */
+int make_poly(int n) {
+    int i;
+    int vspec x = param(int, 0);
+    int cspec acc = `0;
+    for (i = 1; i <= n; i++)
+        acc = `(acc + $i * x);
+    return (int)compile(acc, int);
+}
+"""
+
+
+def main() -> None:
+    tcc = TccCompiler()
+    program = tcc.compile(SOURCE)
+    process = program.start()          # a fresh simulated RISC machine
+
+    # 1. hello world: specification + instantiation + execution
+    process.run("hello")
+    print(process.machine.drain_output(), end="")
+
+    # 2. a specialized adder: the 10 is an immediate in the generated code
+    add10 = process.function(process.run("make_adder", 10), "i", "i")
+    print(f"add10(32) = {add10(32)}")
+
+    stats = process.last_codegen_stats
+    print(
+        f"  generated {stats.generated_instructions} instructions in "
+        f"{stats.total_cycles()} modeled cycles "
+        f"({stats.cycles_per_instruction():.0f} cycles/instruction)"
+    )
+
+    # 3. dynamic composition: code built piece by piece in a loop
+    poly = process.function(process.run("make_poly", 4), "i", "i")
+    # 1x + 2x + 3x + 4x = 10x
+    print(f"poly(7)   = {poly(7)}   (expected {10 * 7})")
+
+    # every run on the simulated machine is cycle-accounted
+    _, cycles = process.run_cycles(poly, 7)
+    print(f"  one call took {cycles} machine cycles")
+
+
+if __name__ == "__main__":
+    main()

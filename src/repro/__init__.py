@@ -1,0 +1,74 @@
+"""repro — a reproduction of *tcc: A System for Fast, Flexible, and
+High-level Dynamic Code Generation* (Poletto, Engler, Kaashoek; PLDI 1997).
+
+The package implements the `C (Tick-C) language — ANSI C extended with the
+backquote and ``$`` operators and the ``cspec``/``vspec`` type constructors —
+together with tcc's two dynamic code generation strategies:
+
+* **VCODE**: one-pass emission, getreg/putreg register allocation
+  (fast code generation, plainer code), and
+* **ICODE**: a run-time intermediate representation with flow-graph
+  construction, live intervals, and the paper's linear-scan register
+  allocator (slower code generation, better code).
+
+Everything runs against a simulated 32-bit RISC machine with a documented
+cycle model (:mod:`repro.target`), which stands in for the paper's
+SparcStation 5.
+
+Quick start::
+
+    from repro import TccCompiler
+
+    source = '''
+    int make_adder(int n) {
+        int vspec p = param(int, 0);
+        int cspec c = `($n + p);
+        return (int)compile(c, int);
+    }
+    '''
+    tcc = TccCompiler()
+    process = tcc.compile(source).start()
+    entry = process.run("make_adder", 10)
+    add10 = process.function(entry, "i", "i")
+    assert add10(5) == 15
+"""
+
+from repro.core.driver import (
+    BackendKind,
+    CompiledProgram,
+    Process,
+    TccCompiler,
+)
+from repro.errors import (
+    CodegenError,
+    CompileError,
+    LexError,
+    LinkError,
+    MachineError,
+    ParseError,
+    RuntimeTccError,
+    TccError,
+    TypeError_,
+)
+from repro.target.cpu import Function, Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TccCompiler",
+    "CompiledProgram",
+    "Process",
+    "BackendKind",
+    "Machine",
+    "Function",
+    "TccError",
+    "CompileError",
+    "LexError",
+    "ParseError",
+    "TypeError_",
+    "CodegenError",
+    "RuntimeTccError",
+    "MachineError",
+    "LinkError",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Link-time analyses (tcc section 5.2, "Emitting code")."""
+
+from repro.analysis.usedops import (
+    UsedOpsReport,
+    collect_used_ops,
+    emitter_size_estimate,
+    prune_report,
+)
+
+__all__ = [
+    "UsedOpsReport",
+    "collect_used_ops",
+    "emitter_size_estimate",
+    "prune_report",
+]

@@ -1,0 +1,94 @@
+"""``binary`` — executable data structures (paper 6.2, "Code construction").
+
+A sorted 16-entry integer array is compiled into a tree of nested
+comparisons against immediates: lookup touches no memory and runs the
+minimum number of conditionals.  The builder is a recursive spec-time
+function composing cspecs — exactly the paper's construction.  The static
+version is a classic binary-search loop.  The experiment looks up two
+entries, one present and one absent.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App
+
+TABLE = sorted([3, 9, 14, 21, 28, 35, 41, 50, 58, 66, 73, 80, 88, 95, 103, 110])
+KEY_PRESENT = 66
+KEY_ABSENT = 67
+
+SOURCE = r"""
+int cspec gen_node(int *a, int lo, int hi, int vspec key) {
+    int mid;
+    int cspec less;
+    int cspec more;
+    if (lo > hi)
+        return `-1;
+    mid = (lo + hi) / 2;
+    less = gen_node(a, lo, mid - 1, key);
+    more = gen_node(a, mid + 1, hi, key);
+    return `(key == $(a[mid]) ? $mid
+             : (key < $(a[mid]) ? less : more));
+}
+
+int mkbinary(int *a, int n) {
+    int vspec key = param(int, 0);
+    int cspec tree = gen_node(a, 0, n - 1, key);
+    return (int)compile(`{ return tree; }, int);
+}
+
+int binary_static(int *a, int n, int key) {
+    int lo, hi, mid;
+    lo = 0;
+    hi = n - 1;
+    while (lo <= hi) {
+        mid = (lo + hi) / 2;
+        if (a[mid] == key)
+            return mid;
+        if (key < a[mid])
+            hi = mid - 1;
+        else
+            lo = mid + 1;
+    }
+    return -1;
+}
+"""
+
+
+def setup(process):
+    mem = process.machine.memory
+    return {"a": mem.alloc_words(TABLE)}
+
+
+def builder_args(ctx):
+    return (ctx["a"], len(TABLE))
+
+
+def dyn_call(fn, ctx):
+    return (fn(KEY_PRESENT), fn(KEY_ABSENT))
+
+
+def static_call(fn, ctx):
+    return (
+        fn(ctx["a"], len(TABLE), KEY_PRESENT),
+        fn(ctx["a"], len(TABLE), KEY_ABSENT),
+    )
+
+
+def expected(ctx):
+    return (TABLE.index(KEY_PRESENT), -1)
+
+
+APP = App(
+    name="binary",
+    source=SOURCE,
+    builder="mkbinary",
+    static_name="binary_static",
+    setup=setup,
+    builder_args=builder_args,
+    dyn_call=dyn_call,
+    static_call=static_call,
+    expected=expected,
+    dyn_signature="i",
+    dyn_returns="i",
+    description="binary search compiled into nested immediate comparisons",
+)

@@ -1,0 +1,143 @@
+"""``blur`` — the xv case study (paper 6.2, "Putting it all together").
+
+xv's Blur applies a k x k all-ones convolution to the image: each output
+pixel is the average of its in-bounds neighbours.  The inner loops are
+bounded by the run-time constant kernel size, so the `C version unrolls
+them and folds the kernel-offset arithmetic; the boundary checks remain
+(they depend on the pixel position).  The paper runs 640x480 with a 3x3
+kernel; the default here is a scaled-down image so the simulated machine
+stays fast — pass ``REPRO_BLUR_FULL=1`` to run the paper's size.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.apps.base import App
+
+if os.environ.get("REPRO_BLUR_FULL"):
+    WIDTH, HEIGHT = 640, 480
+else:
+    WIDTH, HEIGHT = 64, 48
+KSIZE = 3
+
+SOURCE = r"""
+int mkblur(int w, int h, int k) {
+    char * vspec dst = param(char *, 0);
+    char * vspec src = param(char *, 1);
+    /* The pixel loops stay dynamic (their trip counts are data-scale, and
+       while-loops are never unrolled); only the kernel loops, bounded by
+       the run-time constant k, unroll. */
+    void cspec real = `{
+        int x, y;
+        y = 0;
+        while (y < $h) {
+            x = 0;
+            while (x < $w) {
+                int sum, cnt, dy;
+                sum = 0;
+                cnt = 0;
+                for (dy = -($k / 2); dy <= $k / 2; dy++) {
+                    int dx;
+                    for (dx = -($k / 2); dx <= $k / 2; dx++) {
+                        if (y + dy >= 0 && y + dy < $h &&
+                            x + dx >= 0 && x + dx < $w) {
+                            sum = sum + (int)(unsigned char)
+                                src[(y + dy) * $w + (x + dx)];
+                            cnt = cnt + 1;
+                        }
+                    }
+                }
+                dst[y * $w + x] = (char)(sum / cnt);
+                x = x + 1;
+            }
+            y = y + 1;
+        }
+        return 0;
+    };
+    return (int)compile(real, int);
+}
+
+void blur_static(char *dst, char *src, int w, int h, int k) {
+    int x, y, dy, dx, sum, cnt;
+    for (y = 0; y < h; y = y + 1) {
+        for (x = 0; x < w; x = x + 1) {
+            sum = 0;
+            cnt = 0;
+            for (dy = -(k / 2); dy <= k / 2; dy++) {
+                for (dx = -(k / 2); dx <= k / 2; dx++) {
+                    if (y + dy >= 0 && y + dy < h &&
+                        x + dx >= 0 && x + dx < w) {
+                        sum = sum + (int)(unsigned char)
+                            src[(y + dy) * w + (x + dx)];
+                        cnt = cnt + 1;
+                    }
+                }
+            }
+            dst[y * w + x] = (char)(sum / cnt);
+        }
+    }
+}
+"""
+
+
+def _image():
+    return bytes(((x * 7 + y * 13) ^ (x * y)) & 0xFF
+                 for y in range(HEIGHT) for x in range(WIDTH))
+
+
+def setup(process):
+    mem = process.machine.memory
+    return {
+        "src": mem.alloc_bytes(_image()),
+        "dst": mem.alloc(WIDTH * HEIGHT, align=4),
+        "mem": mem,
+    }
+
+
+def builder_args(ctx):
+    return (WIDTH, HEIGHT, KSIZE)
+
+
+def dyn_call(fn, ctx):
+    fn(ctx["dst"], ctx["src"])
+    return ctx["mem"].read_bytes(ctx["dst"], WIDTH * HEIGHT)
+
+
+def static_call(fn, ctx):
+    fn(ctx["dst"], ctx["src"], WIDTH, HEIGHT, KSIZE)
+    return ctx["mem"].read_bytes(ctx["dst"], WIDTH * HEIGHT)
+
+
+def expected(ctx):
+    img = _image()
+    half = KSIZE // 2
+    out = bytearray(WIDTH * HEIGHT)
+    for y in range(HEIGHT):
+        for x in range(WIDTH):
+            total = 0
+            count = 0
+            for dy in range(-half, half + 1):
+                for dx in range(-half, half + 1):
+                    yy, xx = y + dy, x + dx
+                    if 0 <= yy < HEIGHT and 0 <= xx < WIDTH:
+                        total += img[yy * WIDTH + xx]
+                        count += 1
+            out[y * WIDTH + x] = (total // count) & 0xFF
+    return bytes(out)
+
+
+APP = App(
+    name="blur",
+    source=SOURCE,
+    builder="mkblur",
+    static_name="blur_static",
+    setup=setup,
+    builder_args=builder_args,
+    dyn_call=dyn_call,
+    static_call=static_call,
+    expected=expected,
+    dyn_signature="ii",
+    dyn_returns="i",
+    description="xv Blur: k x k all-ones convolution with unrolled kernel loops",
+)

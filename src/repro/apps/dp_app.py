@@ -1,0 +1,79 @@
+"""``dp`` — dot product against a run-time constant vector (paper 4.4/6.2).
+
+This is the paper's running partial-evaluation example: the row vector is a
+run-time constant, so the loop fully unrolls, zero entries disappear
+entirely (emission-time dead-code elimination), and the remaining
+multiplications strength-reduce against the hardwired row values.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App
+from repro.target.isa import wrap32
+
+N = 40
+ROW = [(i % 3) * (i % 5) for i in range(N)]  # plenty of zeros
+COL = [2 * i - 7 for i in range(N)]
+
+SOURCE = r"""
+int mkdp(int *row, int n) {
+    int * vspec col = param(int *, 0);
+    void cspec body = `{
+        int k, sum;
+        sum = 0;
+        for (k = 0; k < $n; k++)
+            if ($row[k])
+                sum = sum + col[k] * $row[k];
+        return sum;
+    };
+    return (int)compile(body, int);
+}
+
+int dp_static(int *row, int *col, int n) {
+    int k, sum;
+    sum = 0;
+    for (k = 0; k < n; k++)
+        sum = sum + col[k] * row[k];
+    return sum;
+}
+"""
+
+
+def setup(process):
+    mem = process.machine.memory
+    return {
+        "row": mem.alloc_words(ROW),
+        "col": mem.alloc_words(COL),
+    }
+
+
+def builder_args(ctx):
+    return (ctx["row"], N)
+
+
+def dyn_call(fn, ctx):
+    return fn(ctx["col"])
+
+
+def static_call(fn, ctx):
+    return fn(ctx["row"], ctx["col"], N)
+
+
+def expected(ctx):
+    return wrap32(sum(r * c for r, c in zip(ROW, COL)))
+
+
+APP = App(
+    name="dp",
+    source=SOURCE,
+    builder="mkdp",
+    static_name="dp_static",
+    setup=setup,
+    builder_args=builder_args,
+    dyn_call=dyn_call,
+    static_call=static_call,
+    expected=expected,
+    dyn_signature="i",
+    dyn_returns="i",
+    description="dot product with a run-time constant, zero-laden vector",
+)

@@ -1,0 +1,104 @@
+"""Measurement harness shared by the benchmark suite and the examples.
+
+``measure(app, ...)`` reproduces the paper's methodology (section 6.1):
+
+* the dynamic version is specified and instantiated once; its compilation
+  overhead (closures + code generation, in modeled cycles) and the run time
+  of the generated code (in target-machine cycles) are recorded separately,
+  so the cross-over point can be computed;
+* the static version is compiled by the static back end at the requested
+  quality level ("lcc" is the paper's stated baseline, "gcc" the
+  optimizing yardstick) and timed over the identical workload;
+* results of both versions are checked against the app's expected value.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App, MeasureResult
+from repro.core.driver import TccCompiler
+
+_PROGRAM_CACHE: dict = {}
+
+
+def _program(app: App):
+    prog = _PROGRAM_CACHE.get(app.name)
+    if prog is None:
+        prog = TccCompiler().compile(app.source, filename=f"<{app.name}>")
+        _PROGRAM_CACHE[app.name] = prog
+    return prog
+
+
+def clear_cache() -> None:
+    _PROGRAM_CACHE.clear()
+
+
+def measure(app: App, backend: str = "icode", regalloc: str = "linear",
+            static_opt: str = "lcc", **extra_options) -> MeasureResult:
+    """Measure one app under one configuration; see module docstring."""
+    result = MeasureResult(app.name, backend, regalloc, static_opt)
+    prog = _program(app)
+
+    # Dynamic side: fresh machine, build + instantiate, then time one run.
+    proc = prog.start(backend=backend, regalloc=regalloc, **extra_options)
+    ctx = app.setup(proc)
+    entry = proc.run(app.builder, *app.builder_args(ctx))
+    fn = proc.function(entry, app.dyn_signature, app.dyn_returns,
+                       name=app.name)
+    stats = proc.cost.lifetime
+    result.codegen_cycles = stats.total_cycles()
+    result.generated_instructions = stats.generated_instructions
+    result.cycles_per_instruction = stats.cycles_per_instruction()
+    result.phase_breakdown = stats.phase_breakdown()
+
+    before = proc.machine.cpu.cycles
+    result.dynamic_result = app.dyn_call(fn, ctx)
+    result.dynamic_cycles = proc.machine.cpu.cycles - before
+
+    # Static side: a separate machine so measurements are isolated.
+    proc_s = prog.start(static_opt=static_opt)
+    ctx_s = app.setup(proc_s)
+    sfn = proc_s.static_function(app.static_name)
+    before = proc_s.machine.cpu.cycles
+    result.static_result = app.static_call(sfn, ctx_s)
+    result.static_cycles = proc_s.machine.cpu.cycles - before
+
+    result.expected = app.expected(ctx)
+    result.correct = _matches(result.dynamic_result, result.expected) and \
+        _matches(result.static_result, app.expected(ctx_s))
+    return result
+
+
+def _matches(value, expected) -> bool:
+    if isinstance(expected, float):
+        return abs(value - expected) < 1e-6 * max(1.0, abs(expected))
+    return value == expected
+
+
+def measure_all(apps, configurations=None):
+    """Measure every app under the paper's four Figure-4 series.
+
+    ``configurations`` defaults to [(backend, static_opt)] pairs
+    (icode, lcc), (icode, gcc), (vcode, lcc), (vcode, gcc).
+    Returns {app_name: {series_name: MeasureResult}}.
+    """
+    if configurations is None:
+        configurations = [
+            ("icode", "lcc"),
+            ("icode", "gcc"),
+            ("vcode", "lcc"),
+            ("vcode", "gcc"),
+        ]
+    out = {}
+    for app in apps:
+        series = {}
+        for backend, static_opt in configurations:
+            name = f"{backend}-{static_opt}"
+            series[name] = measure(app, backend=backend,
+                                   static_opt=static_opt)
+        out[app.name] = series
+    return out
+
+
+def crossover_point(result: MeasureResult):
+    """Convenience alias for Figure 5."""
+    return result.crossover

@@ -1,0 +1,86 @@
+"""``hash`` — run-time constant hashing (paper 6.2, "Run-time constants").
+
+The table size and the scatter multiplier are run-time constants: the `C
+version hardwires both into the instruction stream, letting the modulus by
+the (power-of-two) table size strength-reduce to a mask and the table base
+address become an absolute immediate.  The experiment measures the time to
+look up two values — the first present, the second absent; no bucket has
+more than one element.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App
+from repro.target.isa import wrap32
+
+SIZE = 1024
+MULT = 0x9E3779B9  # golden-ratio scatter constant; too dense to shift/add
+KEY_PRESENT = 123456789
+KEY_ABSENT = 987654321
+
+SOURCE = r"""
+int mkhash(int *table, unsigned size, unsigned mult) {
+    int vspec key = param(int, 0);
+    void cspec body = `{
+        int b;
+        b = (int)(((unsigned)key * $mult) % $size);
+        if (((int *)$table)[b] == key) return b;
+        return -1;
+    };
+    return (int)compile(body, int);
+}
+
+int hash_static(int *table, unsigned size, unsigned mult, int key) {
+    int b;
+    b = (int)(((unsigned)key * mult) % size);
+    if (table[b] == key) return b;
+    return -1;
+}
+"""
+
+
+def _bucket(key: int) -> int:
+    return (key * MULT) % (1 << 32) % SIZE
+
+
+def setup(process):
+    mem = process.machine.memory
+    table = mem.alloc_words([-1] * SIZE)
+    mem.store_word(table + 4 * _bucket(KEY_PRESENT), wrap32(KEY_PRESENT))
+    return {"table": table}
+
+
+def builder_args(ctx):
+    return (ctx["table"], SIZE, MULT)
+
+
+def dyn_call(fn, ctx):
+    return fn(wrap32(KEY_PRESENT)) + fn(wrap32(KEY_ABSENT))
+
+
+def static_call(fn, ctx):
+    table = ctx["table"]
+    return (
+        fn(table, SIZE, MULT, wrap32(KEY_PRESENT))
+        + fn(table, SIZE, MULT, wrap32(KEY_ABSENT))
+    )
+
+
+def expected(ctx):
+    return _bucket(KEY_PRESENT) + (-1)
+
+
+APP = App(
+    name="hash",
+    source=SOURCE,
+    builder="mkhash",
+    static_name="hash_static",
+    setup=setup,
+    builder_args=builder_args,
+    dyn_call=dyn_call,
+    static_call=static_call,
+    expected=expected,
+    dyn_signature="i",
+    dyn_returns="i",
+    description="hash lookups with run-time constant table size/multiplier",
+)

@@ -1,0 +1,198 @@
+"""``heap`` — heapsort parameterized by a swap cspec (paper 6.2,
+"Parameterized functions").
+
+The dynamic version specializes heapsort to the element size: the swap code
+fragment is a cspec that unrolls into word moves (the element size is a
+run-time constant), composed into the sort body through shared vspecs.  The
+static version is the classic library shape — an element-size parameter and
+``memcpy`` through a scratch buffer.  The experiment heapsorts a 500-entry
+array of 12-byte records, ordered by their first word.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.base import App
+
+COUNT = 500
+ELEM_SIZE = 12
+
+SOURCE = r"""
+int mkheap(int size) {
+    char * vspec base = param(char *, 0);
+    int vspec n = param(int, 1);
+    char * vspec p = local(char *);
+    char * vspec q = local(char *);
+    void cspec swap = `{
+        int w;
+        for (w = 0; w + 4 <= $size; w = w + 4) {
+            int t;
+            t = *(int *)(p + w);
+            *(int *)(p + w) = *(int *)(q + w);
+            *(int *)(q + w) = t;
+        }
+    };
+    void cspec body = `{
+        int start, end, root, child;
+        start = n / 2 - 1;
+        end = n - 1;
+        while (start >= 0) {
+            root = start;
+            while (root * 2 + 1 <= end) {
+                child = root * 2 + 1;
+                if (child + 1 <= end &&
+                    *(int *)(base + child * $size) <
+                    *(int *)(base + (child + 1) * $size))
+                    child = child + 1;
+                if (*(int *)(base + root * $size) <
+                    *(int *)(base + child * $size)) {
+                    p = base + root * $size;
+                    q = base + child * $size;
+                    swap;
+                    root = child;
+                } else
+                    break;
+            }
+            start = start - 1;
+        }
+        while (end > 0) {
+            p = base;
+            q = base + end * $size;
+            swap;
+            end = end - 1;
+            root = 0;
+            while (root * 2 + 1 <= end) {
+                child = root * 2 + 1;
+                if (child + 1 <= end &&
+                    *(int *)(base + child * $size) <
+                    *(int *)(base + (child + 1) * $size))
+                    child = child + 1;
+                if (*(int *)(base + root * $size) <
+                    *(int *)(base + child * $size)) {
+                    p = base + root * $size;
+                    q = base + child * $size;
+                    swap;
+                    root = child;
+                } else
+                    break;
+            }
+        }
+        return 0;
+    };
+    return (int)compile(body, int);
+}
+
+char swap_tmp[64];
+
+void swap_static(char *p, char *q, int size) {
+    memcpy(swap_tmp, p, size);
+    memcpy(p, q, size);
+    memcpy(q, swap_tmp, size);
+}
+
+int keyat(char *base, int i, int size) {
+    return *(int *)(base + i * size);
+}
+
+void heap_static(char *base, int n, int size) {
+    int start, end, root, child;
+    start = n / 2 - 1;
+    end = n - 1;
+    while (start >= 0) {
+        root = start;
+        while (root * 2 + 1 <= end) {
+            child = root * 2 + 1;
+            if (child + 1 <= end &&
+                keyat(base, child, size) < keyat(base, child + 1, size))
+                child = child + 1;
+            if (keyat(base, root, size) < keyat(base, child, size)) {
+                swap_static(base + root * size, base + child * size, size);
+                root = child;
+            } else
+                break;
+        }
+        start = start - 1;
+    }
+    while (end > 0) {
+        swap_static(base, base + end * size, size);
+        end = end - 1;
+        root = 0;
+        while (root * 2 + 1 <= end) {
+            child = root * 2 + 1;
+            if (child + 1 <= end &&
+                keyat(base, child, size) < keyat(base, child + 1, size))
+                child = child + 1;
+            if (keyat(base, root, size) < keyat(base, child, size)) {
+                swap_static(base + root * size, base + child * size, size);
+                root = child;
+            } else
+                break;
+        }
+    }
+}
+"""
+
+
+def _records():
+    # Unique keys: heapsort is not stable, so the oracle compares exact
+    # records rather than reasoning about tie order.
+    rng = random.Random(42)
+    keys = rng.sample(range(-100000, 100000), COUNT)
+    return [(key, i * 3 + 1, i * 7 + 2) for i, key in enumerate(keys)]
+
+
+def _write_records(mem, addr, records) -> None:
+    for i, rec in enumerate(records):
+        base = addr + i * ELEM_SIZE
+        for j, word in enumerate(rec):
+            mem.store_word(base + 4 * j, word)
+
+
+def _read_records(mem, addr):
+    out = []
+    for i in range(COUNT):
+        base = addr + i * ELEM_SIZE
+        out.append(tuple(mem.load_word(base + 4 * j) for j in range(3)))
+    return out
+
+
+def setup(process):
+    mem = process.machine.memory
+    addr = mem.alloc(COUNT * ELEM_SIZE, align=4)
+    _write_records(mem, addr, _records())
+    return {"base": addr, "mem": mem}
+
+
+def builder_args(ctx):
+    return (ELEM_SIZE,)
+
+
+def dyn_call(fn, ctx):
+    fn(ctx["base"], COUNT)
+    return _read_records(ctx["mem"], ctx["base"])
+
+
+def static_call(fn, ctx):
+    fn(ctx["base"], COUNT, ELEM_SIZE)
+    return _read_records(ctx["mem"], ctx["base"])
+
+
+def expected(ctx):
+    return sorted(_records(), key=lambda r: r[0])
+
+
+APP = App(
+    name="heap",
+    source=SOURCE,
+    builder="mkheap",
+    static_name="heap_static",
+    setup=setup,
+    builder_args=builder_args,
+    dyn_call=dyn_call,
+    static_call=static_call,
+    expected=expected,
+    dyn_signature="ii",
+    dyn_returns="i",
+    description="heapsort of 500 12-byte records with a composed swap cspec",
+)

@@ -1,0 +1,92 @@
+"""``ms`` — matrix scale by a run-time constant (paper 6.2).
+
+Scales a 100x100 integer matrix by a run-time constant.  The `C version
+hardwires the scale factor (the multiply strength-reduces to shifts/adds —
+a large win on a machine with a 20-cycle multiply) and fully unrolls the
+inner row loop, whose bound is the run-time constant matrix dimension.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App
+from repro.target.isa import wrap32
+
+N = 100
+SCALE = 3
+
+SOURCE = r"""
+int mkms(int n, int c) {
+    int * vspec m = param(int *, 0);
+    int vspec rows = param(int, 1);
+    void cspec body = `{
+        int i;
+        int *row;
+        for (i = 0; i < rows; i++) {
+            int j;
+            row = m + i * $n;
+            for (j = 0; j < $n; j++)
+                row[j] = row[j] * $c;
+        }
+        return 0;
+    };
+    return (int)compile(body, int);
+}
+
+void ms_static(int *m, int n, int c) {
+    int i, j;
+    int *row;
+    for (i = 0; i < n; i++) {
+        row = m + i * n;
+        for (j = 0; j < n; j++)
+            row[j] = row[j] * c;
+    }
+}
+"""
+
+
+def _initial():
+    return [(i % 23) - 11 for i in range(N * N)]
+
+
+def setup(process):
+    mem = process.machine.memory
+    matrix = mem.alloc_words(_initial())
+    return {"matrix": matrix, "mem": mem}
+
+
+def builder_args(ctx):
+    return (N, SCALE)
+
+
+def _checksum(mem, matrix):
+    return wrap32(sum(mem.read_words(matrix, N * N)))
+
+
+def dyn_call(fn, ctx):
+    fn(ctx["matrix"], N)
+    return _checksum(ctx["mem"], ctx["matrix"])
+
+
+def static_call(fn, ctx):
+    fn(ctx["matrix"], N, SCALE)
+    return _checksum(ctx["mem"], ctx["matrix"])
+
+
+def expected(ctx):
+    return wrap32(sum(wrap32(v * SCALE) for v in _initial()))
+
+
+APP = App(
+    name="ms",
+    source=SOURCE,
+    builder="mkms",
+    static_name="ms_static",
+    setup=setup,
+    builder_args=builder_args,
+    dyn_call=dyn_call,
+    static_call=static_call,
+    expected=expected,
+    dyn_signature="ii",
+    dyn_returns="i",
+    description="scale a 100x100 matrix by a run-time constant",
+)

@@ -1,0 +1,91 @@
+"""``mshl`` — dynamic construction of marshaling code (paper 6.2).
+
+Given a format string, the builder creates one dynamic parameter per
+argument and composes the stores into a straight-line marshaling function.
+ANSI C cannot express this; the static comparison is the customary varargs
+emulation — the caller stages arguments into an array and a loop copies
+them out (with the caller obliged to supply the count).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App
+
+FORMAT = "iiiii"
+ARGS = (11, -22, 33, -44, 55)
+
+SOURCE = r"""
+int msg_buf[32];
+int stage_buf[32];
+
+int mkmshl(char *fmt) {
+    int i;
+    void cspec body = `{};
+    for (i = 0; fmt[i]; i++) {
+        int vspec p = param(int, i);
+        body = `{ body; ((int *)$msg_buf)[$i] = p; };
+    }
+    body = `{ body; return $i; };
+    return (int)compile(body, int);
+}
+
+int mshl_va(int *vals, int n) {
+    int i;
+    for (i = 0; i < n; i++)
+        msg_buf[i] = vals[i];
+    return n;
+}
+
+int mshl_static(int a0, int a1, int a2, int a3, int a4) {
+    stage_buf[0] = a0;
+    stage_buf[1] = a1;
+    stage_buf[2] = a2;
+    stage_buf[3] = a3;
+    stage_buf[4] = a4;
+    return mshl_va(stage_buf, 5);
+}
+"""
+
+
+def setup(process):
+    fmt = process.intern_string(FORMAT)
+    buf_decl = process.program.tu.globals["msg_buf"]
+    return {"fmt": fmt, "buf": buf_decl.address, "mem": process.machine.memory}
+
+
+def builder_args(ctx):
+    return (ctx["fmt"],)
+
+
+def _marshalled(ctx):
+    return tuple(ctx["mem"].read_words(ctx["buf"], len(ARGS)))
+
+
+def dyn_call(fn, ctx):
+    n = fn(*ARGS)
+    return (n,) + _marshalled(ctx)
+
+
+def static_call(fn, ctx):
+    n = fn(*ARGS)
+    return (n,) + _marshalled(ctx)
+
+
+def expected(ctx):
+    return (len(ARGS),) + ARGS
+
+
+APP = App(
+    name="mshl",
+    source=SOURCE,
+    builder="mkmshl",
+    static_name="mshl_static",
+    setup=setup,
+    builder_args=builder_args,
+    dyn_call=dyn_call,
+    static_call=static_call,
+    expected=expected,
+    dyn_signature="iiiii",
+    dyn_returns="i",
+    description="build and run a 5-argument marshaling function",
+)

@@ -1,0 +1,104 @@
+"""``ntn`` — Newton-Raphson root finding with composed f and f' (paper 6.2).
+
+The function and its derivative are code specifications that `C composes
+directly into the solver loop — dynamic inlining through function pointers,
+impossible statically.  The static version calls f and f' through pointers
+on every iteration.  We solve f(x) = (x+1)^3 to a tolerance of 1e-6.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App
+
+X0 = 5.0
+TOL = 1e-6
+
+SOURCE = r"""
+int mkntn(double tol) {
+    double vspec x0 = param(double, 0);
+    double vspec x = local(double);
+    double cspec f = `((x + 1.0) * (x + 1.0) * (x + 1.0));
+    double cspec fd = `(3.0 * (x + 1.0) * (x + 1.0));
+    void cspec body = `{
+        double fx;
+        x = x0;
+        fx = f;
+        while ((fx < 0.0 ? -fx : fx) > $tol) {
+            x = x - fx / fd;
+            fx = f;
+        }
+        return x;
+    };
+    return (int)compile(body, double);
+}
+
+double ntn_f(double x) {
+    return (x + 1.0) * (x + 1.0) * (x + 1.0);
+}
+
+double ntn_fd(double x) {
+    return 3.0 * (x + 1.0) * (x + 1.0);
+}
+
+double ntn_static(double x0, double tol,
+                  double (*f)(double), double (*fd)(double)) {
+    double x, fx;
+    x = x0;
+    fx = f(x);
+    while ((fx < 0.0 ? -fx : fx) > tol) {
+        x = x - fx / fd(x);
+        fx = f(x);
+    }
+    return x;
+}
+
+int ntn_f_addr(void) { return (int)ntn_f; }
+int ntn_fd_addr(void) { return (int)ntn_fd; }
+"""
+
+
+def setup(process):
+    # The static solver takes the f/f' entry addresses as arguments; fetch
+    # them through tiny compiled helpers so the host never guesses layout.
+    ctx = {}
+    if process.static_entry("ntn_f_addr") is not None:
+        ctx["f"] = process.static_function("ntn_f_addr")()
+        ctx["fd"] = process.static_function("ntn_fd_addr")()
+    return ctx
+
+
+def builder_args(ctx):
+    return (TOL,)
+
+
+def dyn_call(fn, ctx):
+    return fn(X0)
+
+
+def static_call(fn, ctx):
+    return fn(X0, TOL, ctx["f"], ctx["fd"])
+
+
+def expected(ctx):
+    x = X0
+    fx = (x + 1.0) ** 3
+    while abs(fx) > TOL:
+        x = x - fx / (3.0 * (x + 1.0) ** 2)
+        fx = (x + 1.0) ** 3
+    return x
+
+
+APP = App(
+    name="ntn",
+    source=SOURCE,
+    builder="mkntn",
+    static_name="ntn_static",
+    setup=setup,
+    builder_args=builder_args,
+    dyn_call=dyn_call,
+    static_call=static_call,
+    expected=expected,
+    dyn_signature="f",
+    dyn_returns="f",
+    description="Newton-Raphson with f and f' composed into the solver",
+)

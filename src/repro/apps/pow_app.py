@@ -1,0 +1,80 @@
+"""``pow`` — dynamic partial evaluation of exponentiation (paper 6.2).
+
+Specializes x**13 into straight-line square-and-multiply code, the
+computer-graphics example the paper cites (Draves); the static version uses
+a general integer power loop.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App
+from repro.target.isa import wrap32
+
+EXPONENT = 13
+BASE = 7
+
+SOURCE = r"""
+int mkpow(int n) {
+    int vspec x = param(int, 0);
+    int vspec r = local(int);
+    int vspec sq = local(int);
+    void cspec body = `{ r = 1; sq = x; };
+    while (n) {
+        if (n & 1)
+            body = `{ body; r = r * sq; };
+        n = n >> 1;
+        if (n)
+            body = `{ body; sq = sq * sq; };
+    }
+    body = `{ body; return r; };
+    return (int)compile(body, int);
+}
+
+int pow_static(int x, int n) {
+    int r;
+    r = 1;
+    while (n) {
+        if (n & 1)
+            r = r * x;
+        x = x * x;
+        n = n >> 1;
+    }
+    return r;
+}
+"""
+
+
+def setup(process):
+    return {}
+
+
+def builder_args(ctx):
+    return (EXPONENT,)
+
+
+def dyn_call(fn, ctx):
+    return fn(BASE)
+
+
+def static_call(fn, ctx):
+    return fn(BASE, EXPONENT)
+
+
+def expected(ctx):
+    return wrap32(BASE ** EXPONENT)
+
+
+APP = App(
+    name="pow",
+    source=SOURCE,
+    builder="mkpow",
+    static_name="pow_static",
+    setup=setup,
+    builder_args=builder_args,
+    dyn_call=dyn_call,
+    static_call=static_call,
+    expected=expected,
+    dyn_signature="i",
+    dyn_returns="i",
+    description="specialize exponentiation to a fixed exponent (x**13)",
+)

@@ -1,0 +1,134 @@
+"""Table 1 workloads: code generation overhead microbenchmarks.
+
+The paper measures cycles per generated instruction for two extremes of
+dynamic-code style (section 6.1):
+
+* **one large cspec** — approximately 1000 instructions compiled alone, and
+* **many small cspecs** — a tiny tick expression (one cspec composition and
+  one addition) composed 100 times with itself,
+
+each written twice: once accessing **free variables** in the containing
+function's scope, and once using **dynamic locals**.  Heavy composition and
+free variables both exacerbate closure-manipulation cost.
+"""
+
+from __future__ import annotations
+
+from repro.core.driver import TccCompiler
+
+LARGE_STMTS = 280      # yields roughly 1000 generated instructions
+SMALL_COMPOSITIONS = 100
+
+_VARS = ("va", "vb", "vc", "vd")
+
+
+def _large_body(n_stmts: int) -> str:
+    """A long straight-line statement mix over four integer variables."""
+    stmts = []
+    patterns = (
+        "va = va + vb * 3;",
+        "vb = vb - vc;",
+        "vc = (vc << 1) ^ vd;",
+        "vd = vd + va - 7;",
+        "va = va & 1023;",
+        "vb = vb | vc;",
+        "vc = vc + $seed;",
+        "vd = vd ^ (va >> 2);",
+    )
+    for i in range(n_stmts):
+        stmts.append(patterns[i % len(patterns)])
+    return "\n        ".join(stmts)
+
+
+def large_cspec_source(freevars: bool, n_stmts: int = LARGE_STMTS) -> str:
+    """One ~1000-instruction cspec; variables free or dynamic-local."""
+    body = _large_body(n_stmts)
+    if freevars:
+        return f"""
+int build(int seed) {{
+    int va, vb, vc, vd;
+    void cspec c;
+    va = seed; vb = seed + 1; vc = seed + 2; vd = seed + 3;
+    c = `{{
+        {body}
+        return va + vb + vc + vd;
+    }};
+    return (int)compile(c, int);
+}}
+"""
+    return f"""
+int build(int seed) {{
+    int vspec p = param(int, 0);
+    void cspec c = `{{
+        int va, vb, vc, vd;
+        va = p; vb = p + 1; vc = p + 2; vd = p + 3;
+        {body}
+        return va + vb + vc + vd;
+    }};
+    return (int)compile(c, int);
+}}
+"""
+
+
+def small_cspecs_source(freevars: bool,
+                        n: int = SMALL_COMPOSITIONS) -> str:
+    """A one-addition cspec composed ``n`` times with itself."""
+    if freevars:
+        return f"""
+int build(int seed) {{
+    int i;
+    int x;
+    int cspec c = `0;
+    x = seed;
+    for (i = 0; i < {n}; i++)
+        c = `(c + x);
+    return (int)compile(`{{ return c; }}, int);
+}}
+"""
+    return f"""
+int build(int seed) {{
+    int i;
+    int vspec p = param(int, 0);
+    int vspec s = local(int);
+    int cspec c = `s;
+    for (i = 0; i < {n}; i++)
+        c = `(c + s);
+    return (int)compile(`{{ s = p; return c; }}, int);
+}}
+"""
+
+
+#: The four Table 1 rows: name -> (source factory, freevars flag).
+TABLE1_ROWS = {
+    "one large cspec, dynamic locals": lambda: large_cspec_source(False),
+    "one large cspec, free variables": lambda: large_cspec_source(True),
+    "many small cspecs, dynamic locals": lambda: small_cspecs_source(False),
+    "many small cspecs, free variables": lambda: small_cspecs_source(True),
+}
+
+
+def run_row(source: str, backend: str, regalloc: str = "linear",
+            seed: int = 5):
+    """Compile+instantiate one workload; return (stats, result_fn, process).
+
+    ``stats`` is the :class:`~repro.runtime.costmodel.CodegenStats` of the
+    whole build (closure creation included, as the paper counts it).
+    """
+    program = TccCompiler().compile(source, filename="<table1>")
+    process = program.start(backend=backend, regalloc=regalloc)
+    entry = process.run("build", seed)
+    fn = process.function(entry, "i", "i")
+    return process.cost.lifetime, fn, process
+
+
+def table1(backends=("vcode", "icode")) -> dict:
+    """Reproduce Table 1: {row: {backend: cycles/generated instruction}}."""
+    out = {}
+    for row_name, factory in TABLE1_ROWS.items():
+        source = factory()
+        row = {}
+        for backend in backends:
+            stats, _fn, _proc = run_row(source, backend)
+            row[backend] = stats.cycles_per_instruction()
+        out[row_name] = row
+    return out

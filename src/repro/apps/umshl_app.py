@@ -1,0 +1,77 @@
+"""``umshl`` — dynamic construction of unmarshaling code (paper 6.2).
+
+Unmarshals a byte vector and calls a 5-argument function — the call itself
+is constructed at run time from a format string via the push/apply special
+forms, which ANSI C cannot express at all.  Per the paper, the comparison
+is against statically compiled C "that handles the specific case of five
+arguments" (a hand-tuned special case), so dynamic code generation does
+*not* pay off here: its ratio sits at/below 1 and there is no cross-over.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App
+from repro.target.isa import wrap32
+
+FORMAT = "iiiii"
+VALUES = (101, -202, 303, -404, 505)
+
+SOURCE = r"""
+int sink(int a0, int a1, int a2, int a3, int a4) {
+    return a0 + 2 * a1 + 3 * a2 + 4 * a3 + 5 * a4;
+}
+
+int mkumshl(char *fmt, int *buf) {
+    int i;
+    int cspec call;
+    push_init();
+    for (i = 0; fmt[i]; i++)
+        push(`(((int *)$buf)[$i]));
+    call = apply(sink);
+    return (int)compile(`{ return call; }, int);
+}
+
+int umshl_static(int *buf) {
+    return sink(buf[0], buf[1], buf[2], buf[3], buf[4]);
+}
+"""
+
+
+def setup(process):
+    mem = process.machine.memory
+    return {
+        "fmt": process.intern_string(FORMAT),
+        "buf": mem.alloc_words(VALUES),
+    }
+
+
+def builder_args(ctx):
+    return (ctx["fmt"], ctx["buf"])
+
+
+def dyn_call(fn, ctx):
+    return fn()
+
+
+def static_call(fn, ctx):
+    return fn(ctx["buf"])
+
+
+def expected(ctx):
+    return wrap32(sum((i + 1) * v for i, v in enumerate(VALUES)))
+
+
+APP = App(
+    name="umshl",
+    source=SOURCE,
+    builder="mkumshl",
+    static_name="umshl_static",
+    setup=setup,
+    builder_args=builder_args,
+    dyn_call=dyn_call,
+    static_call=static_call,
+    expected=expected,
+    dyn_signature="",
+    dyn_returns="i",
+    description="unmarshal a byte vector into a dynamically constructed call",
+)

@@ -1,0 +1,6 @@
+"""The `C compiler core: lowering, CGFs, the spec-time interpreter, the
+static back end, and the public :class:`~repro.core.driver.TccCompiler`."""
+
+from repro.core.driver import TccCompiler, CompiledProgram, Process, BackendKind
+
+__all__ = ["TccCompiler", "CompiledProgram", "Process", "BackendKind"]

@@ -1,0 +1,393 @@
+"""The tcc driver: the library's public entry point.
+
+Typical use::
+
+    from repro import TccCompiler, BackendKind
+
+    tcc = TccCompiler()
+    program = tcc.compile(source)                 # static compile time
+    process = program.start(backend=BackendKind.ICODE)
+    result = process.run("main")                  # specification +
+                                                  # instantiation happen here
+    print(process.machine.drain_output())
+
+:class:`TccCompiler` performs static compilation (parse, semantic analysis,
+CGF construction).  :class:`CompiledProgram` is the immutable result.
+:class:`Process` is one execution of the program on a fresh simulated
+machine: globals placed in target memory, compilable C functions compiled by
+the static back end, spec-time code interpreted, and ``compile()`` served by
+the selected dynamic back end.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+
+from repro.core.cgf import CGF
+from repro.core.interp import Interp, MemCell, PyCell
+from repro.core.lowering import CodeGen, EmitCtx, cls_of
+from repro.core import static_backend
+from repro.errors import CodegenError, RuntimeTccError, TccError
+from repro.frontend import cast, parse, analyze
+from repro.frontend.sema import BUILTINS
+from repro.icode.backend import IcodeBackend
+from repro.runtime.arena import Arena
+from repro.runtime.costmodel import CostModel
+from repro.target.cpu import Function, Machine
+from repro.target.isa import wrap32
+from repro.vcode.machine import VcodeBackend
+
+
+class BackendKind(enum.Enum):
+    """Which dynamic back end serves ``compile()``."""
+
+    VCODE = "vcode"
+    ICODE = "icode"
+
+
+#: Library routines available to every program (tcc links a small run-time
+#: library; these are the pieces the benchmarks need).
+PRELUDE_SOURCE = """
+void memcpy(char *dst, char *src, int n) {
+    int i;
+    if (((((int)dst | (int)src) | n) & 3) == 0) {
+        int *d, *s, words;
+        d = (int *)dst; s = (int *)src; words = n >> 2;
+        for (i = 0; i < words; i++) d[i] = s[i];
+        return;
+    }
+    for (i = 0; i < n; i++) dst[i] = src[i];
+}
+
+void memset(char *dst, int value, int n) {
+    int i;
+    for (i = 0; i < n; i++) dst[i] = (char)value;
+}
+"""
+
+
+class TccCompiler:
+    """Static compiler for `C translation units."""
+
+    def __init__(self, include_prelude: bool = True):
+        self.include_prelude = include_prelude
+
+    def compile(self, source: str, filename: str = "<source>") -> "CompiledProgram":
+        """Parse, type-check, and statically lower ``source``."""
+        if self.include_prelude:
+            source = self._merge_prelude(source)
+        tu = analyze(parse(source, filename))
+        for fn in tu.functions.values():
+            for tick in fn.ticks:
+                tick.cgf = CGF(tick, fn.name)
+        return CompiledProgram(tu, source)
+
+    def _merge_prelude(self, source: str) -> str:
+        """Prepend prelude functions the source does not define itself."""
+        chunks = []
+        for name, text in _split_prelude():
+            defines = re.search(
+                r"\b" + name + r"\s*\([^;{)]*\)\s*\{", source
+            )
+            if not defines:
+                chunks.append(text)
+        return "\n".join(chunks) + "\n" + source
+
+
+def _split_prelude():
+    return [("memcpy", PRELUDE_SOURCE.split("void memset")[0]),
+            ("memset", "void memset" + PRELUDE_SOURCE.split("void memset")[1])]
+
+
+class CompiledProgram:
+    """The output of static compilation: an analyzed translation unit with
+    code-generating functions attached to every tick expression."""
+
+    def __init__(self, tu: cast.TranslationUnit, source: str):
+        self.tu = tu
+        self.source = source
+
+    def start(self, machine: Machine | None = None, **options) -> "Process":
+        """Instantiate the program on a machine.  Options:
+
+        ``backend``       BackendKind or "vcode"/"icode" (default ICODE)
+        ``regalloc``      "linear" or "color" (ICODE only; default linear)
+        ``static_opt``    "lcc" or "gcc" (default "lcc")
+        ``allow_spills``  VCODE getreg spilling (default True)
+        ``optimize_dynamic_ir``  run the IR optimizer on dynamic code too
+        ``reorder_cspec_operands``  tcc's 5.1 heuristic (default True)
+        ``compile_static``  compile pure-C functions at start (default True)
+        """
+        return Process(self, machine or Machine(), options)
+
+    @property
+    def functions(self):
+        return self.tu.functions
+
+    def cgfs(self):
+        """All code-generating functions in the program."""
+        out = []
+        for fn in self.tu.functions.values():
+            out.extend(tick.cgf for tick in fn.ticks)
+        return out
+
+
+class Process:
+    """One execution context: machine + interpreter + dynamic compiler."""
+
+    def __init__(self, program: CompiledProgram, machine: Machine, options):
+        backend = options.get("backend", BackendKind.ICODE)
+        if isinstance(backend, str):
+            backend = BackendKind(backend)
+        self.program = program
+        self.machine = machine
+        self.options = options
+        self.backend_kind = backend
+        self.regalloc = options.get("regalloc", "linear")
+        self.static_opt = options.get("static_opt", "lcc")
+        self.cost = CostModel()          # dynamic-compilation accounting
+        self.static_cost = CostModel()   # static compilation (not reported)
+        self.closure_arena = Arena(name="closures")
+        self.global_cells: dict = {}
+        self.current_params: list = []
+        self.pending_args: list = []  # push()/apply() construction state
+        self.last_codegen_stats = None
+        self.compile_count = 0
+        self._strings: dict = {}
+        self._static_entries: dict = {}
+        self._register_malloc()
+        self._place_globals()
+        self.interp = Interp(self)
+        if options.get("compile_static", True):
+            self._compile_static_functions()
+
+    # -- setup -----------------------------------------------------------------
+
+    def _register_malloc(self) -> None:
+        machine = self.machine
+        if "malloc" in machine._host_index:
+            return
+
+        def malloc(cpu):
+            size = max(cpu.regs[4], 1)  # a0
+            cpu.regs[2] = machine.memory.alloc(size, 8)  # rv
+
+        machine.register_host_function("malloc", malloc)
+
+    def _place_globals(self) -> None:
+        mem = self.machine.memory
+        for decl in self.program.tu.globals.values():
+            ty = decl.ty
+            if ty.is_cspec() or ty.is_vspec():
+                self.global_cells[id(decl)] = PyCell(None)
+                continue
+            if ty.is_array() and (ty.base.is_cspec() or ty.base.is_vspec()):
+                from repro.core.interp import ListCell
+
+                self.global_cells[id(decl)] = ListCell(ty.length)
+                continue
+            if ty.is_array():
+                addr = mem.alloc(ty.size, max(ty.base.align, 4))
+                if isinstance(decl.init, list):
+                    for i, item in enumerate(decl.init):
+                        value = self._fold_global_init(item)
+                        self._store_global(addr + i * ty.base.size, ty.base,
+                                           value)
+            else:
+                addr = mem.alloc(max(ty.size, 4), max(ty.align, 4))
+                if decl.init is not None:
+                    value = self._fold_global_init(decl.init)
+                    self._store_global(addr, ty, value)
+            decl.address = addr
+            self.global_cells[id(decl)] = MemCell(addr, ty)
+
+    def _fold_global_init(self, expr):
+        if isinstance(expr, cast.IntLit):
+            return wrap32(expr.value)
+        if isinstance(expr, cast.FloatLit):
+            return float(expr.value)
+        if isinstance(expr, cast.StrLit):
+            return self.intern_string(expr.value)
+        if isinstance(expr, cast.Unary) and expr.op == "-":
+            return -self._fold_global_init(expr.operand)
+        raise RuntimeTccError("unsupported global initializer")
+
+    def _store_global(self, addr: int, ty, value) -> None:
+        mem = self.machine.memory
+        if ty.is_float():
+            mem.store_double(addr, float(value))
+        elif ty.size == 1:
+            mem.store_byte(addr, int(value))
+        else:
+            mem.store_word(addr, wrap32(int(value)))
+
+    def _compile_static_functions(self) -> None:
+        compilable = self.compilable_functions()
+        global_env = static_backend.build_global_env(self.global_cells)
+        for name in compilable:
+            fn = self.program.tu.functions[name]
+            entry = static_backend.compile_static_function(
+                self.machine, self.static_cost, fn, global_env,
+                self.intern_string, opt=self.static_opt, do_link=False,
+                options=self.options,
+            )
+            self._static_entries[name] = entry
+        self.machine.code.link()
+
+    def compilable_functions(self) -> list:
+        """Names of functions the static back end can compile: defined,
+        free of dynamic constructs, and calling only compilable functions
+        or host-backed builtins (computed to a fixpoint)."""
+        tu = self.program.tu
+        candidates = {}
+        for name, fn in tu.functions.items():
+            if fn.body is None:
+                continue
+            if self._has_dynamic_constructs(fn):
+                continue
+            candidates[name] = self._called_functions(fn)
+        changed = True
+        while changed:
+            changed = False
+            for name in list(candidates):
+                for callee in candidates[name]:
+                    if callee not in candidates and callee in tu.functions:
+                        del candidates[name]
+                        changed = True
+                        break
+        return list(candidates)
+
+    @staticmethod
+    def _has_dynamic_constructs(fn: cast.FuncDef) -> bool:
+        if any(_is_spec_type(p.ty) for p in fn.params):
+            return True
+        if _is_spec_type(fn.ty.ret):
+            return True
+        for node in cast.walk(fn.body):
+            if isinstance(node, (cast.Tick, cast.CompileForm, cast.LocalForm,
+                                 cast.ParamForm, cast.Dollar)):
+                return True
+            if isinstance(node, cast.VarDecl) and _is_spec_type(node.ty):
+                return True
+            if isinstance(node, cast.Call) and node.builtin is not None:
+                builtin = BUILTINS[node.builtin]
+                if builtin.spec_time_only:
+                    return True
+        return False
+
+    @staticmethod
+    def _called_functions(fn: cast.FuncDef) -> set:
+        out = set()
+        for node in cast.walk(fn.body):
+            if isinstance(node, cast.Ident) and isinstance(node.decl,
+                                                           cast.FuncDef):
+                out.add(node.decl.name)
+        return out
+
+    # -- services used by the interpreter ------------------------------------------
+
+    def intern_string(self, text: str) -> int:
+        addr = self._strings.get(text)
+        if addr is None:
+            addr = self.machine.memory.alloc_cstring(text)
+            self._strings[text] = addr
+        return addr
+
+    def static_entry(self, name: str):
+        return self._static_entries.get(name)
+
+    def register_param(self, vspec) -> None:
+        self.current_params.append(vspec)
+
+    def make_backend(self):
+        if self.backend_kind is BackendKind.VCODE:
+            return VcodeBackend(
+                self.machine, self.cost,
+                allow_spills=self.options.get("allow_spills", True),
+            )
+        return IcodeBackend(
+            self.machine, self.cost, regalloc=self.regalloc,
+            optimize_ir=self.options.get("optimize_dynamic_ir", True),
+            use_peephole=self.options.get("dynamic_peephole", True),
+        )
+
+    def compile_closure(self, closure, ret_type) -> int:
+        """The ``compile`` special form (tcc 4.4): run the CGF against a
+        fresh back end, link the result, reset dynamic parameter state, and
+        return the entry address (the function pointer)."""
+        backend = self.make_backend()
+        ctx = EmitCtx(self.machine, self.cost, backend, ret_type,
+                      self.intern_string, self.options)
+        ctx.in_tick = True
+        # Bind dynamic parameters created via param().
+        params = sorted(self.current_params, key=lambda v: v.index)
+        indices = [v.index for v in params]
+        if indices != list(range(len(params))):
+            raise CodegenError(
+                f"dynamic parameters must use dense indices 0..n-1, got "
+                f"{indices}"
+            )
+        n_int = n_float = 0
+        for vspec in params:
+            storage = backend.vspec_storage(vspec)
+            if vspec.cls == "f":
+                backend.bind_param(storage, n_float, "f")
+                n_float += 1
+            else:
+                backend.bind_param(storage, n_int, "i")
+                n_int += 1
+        value = closure.cgf.emit_into(ctx, closure)
+        if value is not None and not ret_type.is_void():
+            gen = CodeGen(ctx)
+            rv = gen.materialize(gen.convert(value, cls_of(ret_type)))
+            backend.ret(rv.handle, cls_of(ret_type))
+            gen.release(rv)
+        entry = backend.install()
+        self.last_codegen_stats = self.cost.end_instantiation()
+        self.last_backend = backend
+        self.compile_count += 1
+        self.current_params = []
+        return entry
+
+    # -- running --------------------------------------------------------------------
+
+    def run(self, fn_name: str, *args):
+        """Interpret a (spec-time) function by name."""
+        fn = self.program.tu.functions.get(fn_name)
+        if fn is None:
+            raise TccError(f"no function named {fn_name!r}")
+        return self.interp.call_function(fn, list(args))
+
+    def function(self, entry: int, signature: str = "",
+                 returns: str = "i", name: str = "<dynamic>") -> Function:
+        """Wrap a code address (e.g. a compile() result) as a callable."""
+        return Function(self.machine, entry, signature, returns, name)
+
+    def static_function(self, name: str, signature: str | None = None,
+                        returns: str | None = None) -> Function:
+        """A callable for a statically compiled C function."""
+        entry = self._static_entries.get(name)
+        if entry is None:
+            raise CodegenError(
+                f"{name!r} was not statically compiled (dynamic constructs?)"
+            )
+        fn = self.program.tu.functions[name]
+        if signature is None:
+            signature = "".join(cls_of(p.ty) for p in fn.params)
+        if returns is None:
+            ret = fn.ty.ret
+            returns = "v" if ret.is_void() else cls_of(ret)
+        return Function(self.machine, entry, signature, returns, name)
+
+    def run_cycles(self, fn: Function, *args):
+        """Call ``fn`` and return (result, cycles consumed)."""
+        before = self.machine.cpu.cycles
+        result = fn(*args)
+        return result, self.machine.cpu.cycles - before
+
+
+def _is_spec_type(ty) -> bool:
+    if ty.is_array():
+        return _is_spec_type(ty.base)
+    return ty.is_cspec() or ty.is_vspec()

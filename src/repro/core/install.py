@@ -1,0 +1,94 @@
+"""Shared function-installation logic for the dynamic back ends.
+
+Both VCODE and ICODE produce a flat body of target instructions with
+relative :class:`~repro.target.program.Label`\\ s.  This module wraps the body
+with the standard prologue/epilogue, copies it into the machine's code
+segment (tcc copies dynamic code to contiguous memory at the same point),
+fixes up labels, and links.
+
+Frame layout (fixed offsets from the post-prologue SP)::
+
+    sp + 0                saved ra (only written when the function calls)
+    sp + 8   .. sp+55     save area for callee-saved s0-s11 (4 bytes each)
+    sp + 56  .. sp+135    save area for callee-saved f6-f15 (8 bytes each)
+    sp + 136 + 8*i        spill slot i (8 bytes, doubles welcome)
+
+The layout is fixed so spill offsets are known while code is still being
+emitted, before the set of saved registers is final.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.costmodel import Phase
+from repro.target.isa import ALLOCATABLE_FREGS, Instruction, Op, Reg
+
+#: Byte offset of the float save area and of the first spill slot.
+FREG_SAVE_BASE = 56
+SPILL_BASE = 136
+
+
+def spill_offset(idx: int) -> int:
+    """Frame offset of spill slot ``idx``."""
+    return SPILL_BASE + 8 * idx
+
+
+def frame_size(n_spill_slots: int) -> int:
+    size = SPILL_BASE + 8 * n_spill_slots
+    return (size + 15) & ~15
+
+
+def build_prologue_epilogue(used_sregs, used_fregs, has_call: bool,
+                            n_spill_slots: int):
+    """Return (prologue, epilogue) instruction lists."""
+    frame = frame_size(n_spill_slots)
+    prologue = [Instruction(Op.SUBI, Reg.SP, Reg.SP, frame)]
+    epilogue = []
+    if has_call:
+        prologue.append(Instruction(Op.SW, Reg.RA, Reg.SP, 0))
+        epilogue.append(Instruction(Op.LW, Reg.RA, Reg.SP, 0))
+    for reg in sorted(used_sregs):
+        off = 8 + 4 * (reg - Reg.S0)
+        prologue.append(Instruction(Op.SW, reg, Reg.SP, off))
+        epilogue.append(Instruction(Op.LW, reg, Reg.SP, off))
+    fbase = ALLOCATABLE_FREGS[0]
+    for reg in sorted(used_fregs):
+        off = FREG_SAVE_BASE + 8 * (reg - fbase)
+        prologue.append(Instruction(Op.FSW, reg, Reg.SP, off))
+        epilogue.append(Instruction(Op.FLW, reg, Reg.SP, off))
+    epilogue.append(Instruction(Op.ADDI, Reg.SP, Reg.SP, frame))
+    epilogue.append(Instruction(Op.RET))
+    return prologue, epilogue
+
+
+def install_function(machine, cost, body, labels, epilogue_label,
+                     used_sregs, used_fregs, has_call, n_spill_slots,
+                     name=None, do_link=True):
+    """Install a generated function body into the machine's code segment.
+
+    ``labels`` hold *relative* addresses (indices into ``body``);
+    ``epilogue_label`` is the label ret-sequences jump to.  Returns the
+    absolute entry address.
+    """
+    prologue, epilogue = build_prologue_epilogue(
+        used_sregs, used_fregs, has_call, n_spill_slots
+    )
+    segment = machine.code
+    base = segment.here
+    shift = base + len(prologue)
+    for label in labels:
+        if label.address is None:
+            continue  # unplaced labels are linker errors if referenced
+        label.address += shift
+    epilogue_label.address = shift + len(body)
+    entry = segment.extend(prologue)
+    segment.extend(body)
+    segment.extend(epilogue)
+    if name is not None:
+        segment.define(name, entry)
+    if do_link:
+        patched = segment.link()
+        if cost is not None:
+            cost.charge(Phase.LINK, "patch", max(patched, 1))
+    if cost is not None:
+        cost.note_instruction(len(prologue) + len(epilogue))
+    return entry

@@ -1,0 +1,77 @@
+"""Operand handles shared by the dynamic back ends.
+
+The lowering layer (:mod:`repro.core.lowering`) manipulates *handles* so the
+same code-generation logic drives both abstract machines:
+
+* :class:`PReg` — a physical register, handed out by VCODE's getreg,
+* :class:`Spill` — a spilled location, VCODE's "negative register name"
+  (tcc section 5.1: getreg returns a spilled location designated by a
+  negative number; macros recognize it as a stack offset),
+* :class:`VReg` — one of ICODE's infinite virtual registers,
+* :class:`FuncRef` — a symbolic reference to a named function, resolved to a
+  code address at link time.
+
+``cls`` is the register class: ``"i"`` (integer/pointer) or ``"f"``
+(double).
+"""
+
+from __future__ import annotations
+
+
+class PReg:
+    """A physical register allocated by VCODE's getreg."""
+
+    __slots__ = ("num", "cls")
+
+    def __init__(self, num: int, cls: str = "i"):
+        self.num = num
+        self.cls = cls
+
+    def __repr__(self) -> str:
+        prefix = "f" if self.cls == "f" else "r"
+        return f"{prefix}{self.num}"
+
+
+class Spill:
+    """A spilled VCODE location: slot ``idx`` in the frame's spill area."""
+
+    __slots__ = ("idx", "cls")
+
+    def __init__(self, idx: int, cls: str = "i"):
+        self.idx = idx
+        self.cls = cls
+
+    def __repr__(self) -> str:
+        return f"spill[{self.idx}]{self.cls}"
+
+
+class VReg:
+    """An ICODE virtual register."""
+
+    __slots__ = ("id", "cls")
+
+    def __init__(self, id: int, cls: str = "i"):
+        self.id = id
+        self.cls = cls
+
+    def __repr__(self) -> str:
+        prefix = "fv" if self.cls == "f" else "v"
+        return f"{prefix}{self.id}"
+
+    def __hash__(self) -> int:
+        return self.id * 2 + (1 if self.cls == "f" else 0)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VReg) and other.id == self.id and other.cls == self.cls
+
+
+class FuncRef:
+    """A symbolic code address, patched by the linker."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"&{self.name}"

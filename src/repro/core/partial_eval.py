@@ -1,0 +1,110 @@
+"""Run-time-constant strength reduction (tcc section 4.4).
+
+When an operand of an expensive operation is a run-time constant, the CGF
+contains a "fancier code-generation macro than usual": it inspects the
+immediate at instantiation time and emits a cheaper sequence.  This module
+implements those fancy macros for multiplication, division, and modulus,
+shared by both dynamic back ends (and by the static back end, which may only
+use them for *static* constants).
+
+On the simulated target (as on the paper's microSPARC-era machines) integer
+multiply costs 20 cycles and divide 40, so shift/add sequences win whenever
+they stay short.
+"""
+
+from __future__ import annotations
+
+from repro.target.isa import CYCLE_COST, Op
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def _shift_add_plan(multiplier: int):
+    """Decompose ``x * multiplier`` into shift/add steps over the binary
+    expansion.  Returns a list of (shift_amount,) terms or None when a plain
+    multiply is at least as cheap."""
+    if multiplier <= 0:
+        return None
+    shifts = [i for i in range(32) if multiplier & (1 << i)]
+    # cost: one shift per term (first may be free if shift 0) + adds;
+    # also bounded at 8 ops for code size, as era compilers did
+    est = sum(1 for s in shifts if s) + (len(shifts) - 1)
+    if est >= min(CYCLE_COST[Op.MUL], 8):
+        return None
+    return shifts
+
+
+def emit_mul_imm(backend, dst, src, imm: int) -> None:
+    """dst = src * imm, strength-reduced when profitable."""
+    imm = int(imm)
+    if imm == 0:
+        backend.li(dst, 0)
+        return
+    if imm == 1:
+        backend.unop("mov", dst, src)
+        return
+    if imm == -1:
+        backend.unop("neg", dst, src)
+        return
+    negate = imm < 0
+    magnitude = -imm if negate else imm
+    if _is_power_of_two(magnitude):
+        backend.binop_imm("sll", dst, src, magnitude.bit_length() - 1)
+        if negate:
+            backend.unop("neg", dst, dst)
+        return
+    plan = _shift_add_plan(magnitude)
+    if plan is None:
+        backend.binop_imm("mul", dst, src, imm)
+        return
+    # dst may alias src: build in a scratch allocation when it does.
+    work = dst if dst is not src else backend.alloc_reg("i")
+    first = plan[0]
+    if first == 0:
+        backend.unop("mov", work, src)
+    else:
+        backend.binop_imm("sll", work, src, first)
+    tmp = backend.alloc_reg("i")
+    for shift in plan[1:]:
+        backend.binop_imm("sll", tmp, src, shift)
+        backend.binop("add", work, work, tmp)
+    backend.free_reg(tmp)
+    if negate:
+        backend.unop("neg", work, work)
+    if work is not dst:
+        backend.unop("mov", dst, work)
+        backend.free_reg(work)
+
+
+def emit_div_imm(backend, dst, src, imm: int, signed: bool = True) -> None:
+    """dst = src / imm.  Powers of two become shifts (arithmetic-shift
+    correction for signed values is emitted as the classic 3-op fixup)."""
+    imm = int(imm)
+    if imm == 1:
+        backend.unop("mov", dst, src)
+        return
+    if _is_power_of_two(imm):
+        shift = imm.bit_length() - 1
+        if not signed:
+            backend.binop_imm("srl", dst, src, shift)
+            return
+        # Signed: add (imm - 1) when the dividend is negative, then shift.
+        bias = backend.alloc_reg("i")
+        backend.binop_imm("sra", bias, src, 31)
+        backend.binop_imm("srl", bias, bias, 32 - shift)
+        backend.binop("add", bias, src, bias)
+        backend.binop_imm("sra", dst, bias, shift)
+        backend.free_reg(bias)
+        return
+    backend.binop_imm("div" if signed else "divu", dst, src, imm)
+
+
+def emit_mod_imm(backend, dst, src, imm: int, signed: bool = True) -> None:
+    """dst = src % imm.  Unsigned powers of two become a mask."""
+    imm = int(imm)
+    if _is_power_of_two(imm) and not signed:
+        backend.binop_imm("and", dst, src, imm - 1)
+        return
+    backend.binop_imm("mod" if signed else "modu", dst, src, imm)

@@ -1,0 +1,68 @@
+"""Human-readable views of code-generating functions and generated code.
+
+tcc's paper illustrates CGFs as C functions over closures (the ``_qf0`` /
+``_qf1`` examples of section 4.2).  :func:`render_cgf` produces the
+analogous sketch for this reproduction: the closure layout followed by the
+tick body the CGF emits.  :func:`disassemble_function` renders the target
+instructions a ``compile()`` call actually produced.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import cast
+from repro.frontend.unparse import Unparser, type_name
+from repro.runtime.closures import CaptureKind
+from repro.target.isa import disassemble
+
+
+def render_cgf(cgf) -> str:
+    """Pseudo-source for one CGF: closure layout + emitted body."""
+    tick = cgf.tick
+    lines = [f"/* code generating function {cgf.label} */"]
+    lines.append(f"{type_name(tick.eval_type)} {cgf.label}(closure *c)")
+    lines.append("{")
+    if tick.captures:
+        lines.append("    /* closure layout (filled at specification time) */")
+        for cap in tick.captures.values():
+            kind = {
+                CaptureKind.FREEVAR: "address of free variable",
+                CaptureKind.RTCONST: "run-time constant value of",
+                CaptureKind.CSPEC: "nested cspec",
+                CaptureKind.VSPEC: "nested vspec",
+            }[cap.kind]
+            lines.append(f"    /*   c->{cap.name}: {kind} {cap.decl.name} */")
+    for dollar in tick.dollars:
+        when = "specification" if dollar.spectime else "emission"
+        lines.append(
+            f"    /*   $-slot {dollar.slot}: evaluated at {when} time */"
+        )
+    lines.append("    /* emits code for: */")
+    up = Unparser()
+    if isinstance(tick.body, cast.Block):
+        body = up.block(tick.body, 1)
+    else:
+        body = "    " + up.expr(tick.body)
+    lines.append(body)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_program_cgfs(program) -> str:
+    """All CGFs of a compiled program, in tick order."""
+    return "\n\n".join(render_cgf(cgf) for cgf in program.cgfs())
+
+
+def disassemble_function(machine, entry: int, end: int | None = None) -> str:
+    """Disassemble installed code starting at ``entry``.
+
+    Without ``end``, stops after the first RET at or beyond the entry
+    (i.e. one function's worth, given our single-exit epilogues)."""
+    instrs = machine.code.instructions
+    if end is None:
+        from repro.target.isa import Op
+
+        end = entry
+        while end < len(instrs) and instrs[end].op is not Op.RET:
+            end += 1
+        end = min(end + 1, len(instrs))
+    return disassemble(instrs[entry:end], start=entry)

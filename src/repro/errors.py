@@ -1,0 +1,81 @@
+"""Diagnostics for the tcc reproduction.
+
+All user-facing failures raise one of the exception types below.  Compile-time
+errors carry a source location (``line``, ``column``) so that test suites and
+users can assert on *where* an error was reported, not just that one happened.
+"""
+
+from __future__ import annotations
+
+
+class TccError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SourceLocation:
+    """A (line, column) pair within a named source buffer."""
+
+    __slots__ = ("filename", "line", "column")
+
+    def __init__(self, filename: str = "<source>", line: int = 0, column: int = 0):
+        self.filename = filename
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and self.filename == other.filename
+            and self.line == other.line
+            and self.column == other.column
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.filename, self.line, self.column))
+
+
+class CompileError(TccError):
+    """A static compile-time error (lexing, parsing, or semantic analysis)."""
+
+    def __init__(self, message: str, loc: SourceLocation | None = None):
+        self.loc = loc
+        self.message = message
+        if loc is not None:
+            super().__init__(f"{loc}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(CompileError):
+    """Invalid token at the lexical level."""
+
+
+class ParseError(CompileError):
+    """Syntactically malformed input."""
+
+
+class TypeError_(CompileError):
+    """Semantic/type error.  Named with a trailing underscore to avoid
+    shadowing the builtin :class:`TypeError`."""
+
+
+class RuntimeTccError(TccError):
+    """An error raised while running a `C program (specification time or
+    instantiation time)."""
+
+
+class CodegenError(RuntimeTccError):
+    """Dynamic code generation failed (e.g. register exhaustion with spills
+    disabled, malformed composition)."""
+
+
+class MachineError(TccError):
+    """Target-machine fault: bad memory access, illegal instruction,
+    runaway execution."""
+
+
+class LinkError(TccError):
+    """Unresolved symbol or label at link time."""

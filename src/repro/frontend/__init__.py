@@ -1,0 +1,25 @@
+"""The `C (Tick-C) frontend: lexer, AST, types, parser, semantic analysis.
+
+`C extends ANSI C with the backquote operator (specify dynamic code), the
+``$`` operator (bind a run-time constant), and the postfix type constructors
+``cspec`` and ``vspec`` (Engler, Hsieh, Kaashoek, POPL 1995).  All parsing
+and semantic checking of dynamic code happens here, at static compile time,
+exactly as in tcc (section 4).
+"""
+
+from repro.frontend.lexer import Lexer, Token, TokenKind, tokenize
+from repro.frontend.parser import Parser, parse
+from repro.frontend.sema import analyze
+from repro.frontend import cast, typesys
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Parser",
+    "parse",
+    "analyze",
+    "cast",
+    "typesys",
+]

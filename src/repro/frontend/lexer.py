@@ -1,0 +1,321 @@
+"""Lexer for `C.
+
+Tokenizes the ANSI C subset plus the two `C operators: backquote `` ` ``
+(TICK) and ``$`` (DOLLAR), and the type-constructor keywords ``cspec`` and
+``vspec``.  Both ``//`` and ``/* */`` comments are accepted.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import LexError, SourceLocation
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT_LIT = "int"
+    FLOAT_LIT = "float"
+    CHAR_LIT = "char"
+    STR_LIT = "string"
+    PUNCT = "punct"
+    TICK = "tick"
+    DOLLAR = "dollar"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "char",
+        "double",
+        "float",
+        "void",
+        "unsigned",
+        "signed",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+        "cspec",
+        "vspec",
+        "struct",
+        "typedef",
+        "static",
+        "extern",
+        "const",
+        "register",
+        "goto",
+        "switch",
+        "case",
+        "default",
+    }
+)
+
+# Longest-match-first punctuation table.
+_PUNCTS = [
+    "<<=",
+    ">>=",
+    "...",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+}
+
+
+class Token:
+    __slots__ = ("kind", "value", "loc")
+
+    def __init__(self, kind: TokenKind, value, loc: SourceLocation):
+        self.kind = kind
+        self.value = value
+        self.loc = loc
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.value == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.value!r})"
+
+
+class Lexer:
+    """Streaming tokenizer.  Use :func:`tokenize` for the common case."""
+
+    def __init__(self, source: str, filename: str = "<source>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.col)
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                loc = self._loc()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.source):
+                        raise LexError("unterminated comment", loc)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        loc = self._loc()
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, None, loc)
+        ch = self._peek()
+
+        if ch == "`":
+            self._advance()
+            return Token(TokenKind.TICK, "`", loc)
+        if ch == "$":
+            self._advance()
+            return Token(TokenKind.DOLLAR, "$", loc)
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident(loc)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(loc)
+        if ch == '"':
+            return self._lex_string(loc)
+        if ch == "'":
+            return self._lex_char(loc)
+        for p in _PUNCTS:
+            if self.source.startswith(p, self.pos):
+                self._advance(len(p))
+                return Token(TokenKind.PUNCT, p, loc)
+        raise LexError(f"unexpected character {ch!r}", loc)
+
+    def _lex_ident(self, loc: SourceLocation) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, loc)
+
+    def _peek_in(self, chars: str, offset: int = 0) -> bool:
+        ch = self._peek(offset)
+        return ch != "" and ch in chars
+
+    def _lex_number(self, loc: SourceLocation) -> Token:
+        start = self.pos
+        src = self.source
+        if self._peek() == "0" and self._peek_in("xX", 1):
+            self._advance(2)
+            if not (self._peek().isdigit() or self._peek_in("abcdefABCDEF")):
+                raise LexError("malformed hex literal", loc)
+            while self._peek().isdigit() or self._peek_in("abcdefABCDEF"):
+                self._advance()
+            text = src[start : self.pos]
+            self._skip_int_suffix()
+            return Token(TokenKind.INT_LIT, int(text, 16), loc)
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek_in("eE") and (
+            self._peek(1).isdigit()
+            or (self._peek_in("+-", 1) and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek_in("+-"):
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = src[start : self.pos]
+        if is_float:
+            if self._peek_in("fFlL"):
+                self._advance()
+            return Token(TokenKind.FLOAT_LIT, float(text), loc)
+        self._skip_int_suffix()
+        return Token(TokenKind.INT_LIT, int(text, 10), loc)
+
+    def _skip_int_suffix(self) -> None:
+        while self._peek_in("uUlL"):
+            self._advance()
+
+    def _lex_string(self, loc: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        out = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise LexError("unterminated string literal", loc)
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                esc = self._peek()
+                if esc not in _ESCAPES:
+                    raise LexError(f"bad escape \\{esc}", self._loc())
+                out.append(_ESCAPES[esc])
+                self._advance()
+            else:
+                out.append(ch)
+                self._advance()
+        return Token(TokenKind.STR_LIT, "".join(out), loc)
+
+    def _lex_char(self, loc: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "":
+            raise LexError("unterminated character literal", loc)
+        if ch == "\\":
+            self._advance()
+            esc = self._peek()
+            if esc not in _ESCAPES:
+                raise LexError(f"bad escape \\{esc}", self._loc())
+            value = ord(_ESCAPES[esc])
+            self._advance()
+        else:
+            value = ord(ch)
+            self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", loc)
+        self._advance()
+        return Token(TokenKind.CHAR_LIT, value, loc)
+
+
+def tokenize(source: str, filename: str = "<source>") -> list:
+    """Tokenize ``source`` fully, returning a list ending with an EOF token."""
+    lexer = Lexer(source, filename)
+    tokens = []
+    while True:
+        tok = lexer.next_token()
+        tokens.append(tok)
+        if tok.kind is TokenKind.EOF:
+            return tokens

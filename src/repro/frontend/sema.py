@@ -1,0 +1,988 @@
+"""Semantic analysis for `C.
+
+All parsing and semantic checking of dynamic expressions occurs at static
+compile time (tcc section 4): this module type-checks every tick expression,
+builds its *capture table* (the statically-known shape of the closure that
+will be allocated at specification time), and performs the derived
+run-time-constant analysis that drives dynamic loop unrolling and dead-code
+elimination (tcc section 4.4).
+
+Capture kinds mirror the paper's closure contents exactly:
+
+* ``FREEVAR`` — a variable free in the tick body; the closure captures its
+  *address* and dynamic code loads/stores through it at run time,
+* ``RTCONST`` — a value bound by ``$`` (or referenced inside a ``$``
+  expression that must be re-evaluated at emission time),
+* ``CSPEC``/``VSPEC`` — nested code/variable specifications composed into
+  this one.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeError_
+from repro.frontend import cast
+from repro.frontend import typesys as T
+from repro.runtime.closures import CaptureKind
+
+_MAX_CONST = 0x7FFFFFFF
+
+
+class Builtin:
+    """A function known to the compiler without declaration."""
+
+    def __init__(self, name: str, ty: T.FunctionType, hostcall: str | None = None,
+                 spec_time_only: bool = False):
+        self.name = name
+        self.ty = ty
+        self.hostcall = hostcall          # host function name, if one backs it
+        self.spec_time_only = spec_time_only
+
+    def __repr__(self) -> str:
+        return f"<Builtin {self.name}>"
+
+
+BUILTINS = {
+    "printf": Builtin(
+        "printf", T.FunctionType(T.VOID, (T.PointerType(T.CHAR),), varargs=True),
+        spec_time_only=True,
+    ),
+    "print_int": Builtin(
+        "print_int", T.FunctionType(T.VOID, (T.INT,)), hostcall="print_int"
+    ),
+    "print_str": Builtin(
+        "print_str", T.FunctionType(T.VOID, (T.PointerType(T.CHAR),)),
+        hostcall="print_str",
+    ),
+    "print_double": Builtin(
+        "print_double", T.FunctionType(T.VOID, (T.DOUBLE,)), hostcall="print_double"
+    ),
+    "putchar": Builtin(
+        "putchar", T.FunctionType(T.VOID, (T.INT,)), hostcall="putchar"
+    ),
+    "malloc": Builtin(
+        "malloc", T.FunctionType(T.VOID_PTR, (T.INT,)), hostcall="malloc"
+    ),
+}
+
+
+class Capture:
+    """One closure slot determined at static compile time."""
+
+    __slots__ = ("name", "kind", "decl")
+
+    def __init__(self, name: str, kind: CaptureKind, decl):
+        self.name = name
+        self.kind = kind
+        self.decl = decl
+
+    def __repr__(self) -> str:
+        return f"<Capture {self.name} {self.kind.value}>"
+
+
+class _Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.names: dict = {}
+
+    def declare(self, name: str, decl, loc) -> None:
+        if name in self.names:
+            raise TypeError_(f"redeclaration of {name!r}", loc)
+        self.names[name] = decl
+
+    def lookup(self, name: str):
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+_REL_OPS = frozenset({"<", "<=", ">", ">=", "==", "!="})
+_LOGIC_OPS = frozenset({"&&", "||"})
+_INT_OPS = frozenset({"%", "<<", ">>", "&", "|", "^"})
+
+
+class Sema:
+    """Single-translation-unit semantic analyzer."""
+
+    def __init__(self, tu: cast.TranslationUnit):
+        self.tu = tu
+        self.globals = _Scope()
+        self.scope = self.globals
+        self.current_fn: cast.FuncDef | None = None
+        self.current_tick: cast.Tick | None = None
+        self.in_dollar = False
+        self.loop_depth = [0]    # loops only (continue); per tick frame
+        self.switch_depth = [0]  # loops + switches (break); per tick frame
+        self.tick_counter = 0
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(self) -> cast.TranslationUnit:
+        # Pass 1: declare all globals and function signatures.
+        for decl in self.tu.decls:
+            if isinstance(decl, cast.FuncDef):
+                existing = self.tu.functions.get(decl.name)
+                if existing is not None and not existing.is_extern:
+                    if not decl.is_extern:
+                        raise TypeError_(
+                            f"redefinition of function {decl.name!r}", decl.loc
+                        )
+                    continue
+                if existing is None:
+                    self.globals.declare(decl.name, decl, decl.loc)
+                else:
+                    self.globals.names[decl.name] = decl
+                self.tu.functions[decl.name] = decl
+            else:
+                self._check_global_var(decl)
+        # Pass 2: check function bodies.
+        for decl in self.tu.decls:
+            if isinstance(decl, cast.FuncDef) and decl.body is not None:
+                self._check_funcdef(decl)
+        return self.tu
+
+    # -- declarations ----------------------------------------------------------
+
+    def _check_global_var(self, decl: cast.VarDecl) -> None:
+        if decl.ty.is_void() or decl.ty.is_func():
+            raise TypeError_(f"invalid type for variable {decl.name!r}", decl.loc)
+        if decl.ty.is_struct() and decl.init is not None:
+            raise TypeError_(
+                f"struct global {decl.name!r} cannot have an initializer",
+                decl.loc,
+            )
+        decl.is_global = True
+        decl.needs_memory = True
+        self.globals.declare(decl.name, decl, decl.loc)
+        self.tu.globals[decl.name] = decl
+        if decl.init is not None:
+            self._check_global_init(decl)
+
+    def _check_global_init(self, decl: cast.VarDecl) -> None:
+        init = decl.init
+        if isinstance(init, list):
+            if not decl.ty.is_array():
+                raise TypeError_(
+                    f"brace initializer for non-array {decl.name!r}", decl.loc
+                )
+            if decl.ty.length is None:
+                decl.ty = T.ArrayType(decl.ty.base, len(init))
+            elif len(init) > decl.ty.length:
+                raise TypeError_(f"too many initializers for {decl.name!r}", decl.loc)
+            for item in init:
+                if isinstance(item, list):
+                    raise TypeError_("nested brace initializers unsupported", decl.loc)
+                self._require_const(item)
+        else:
+            self._require_const(init)
+
+    def _require_const(self, expr: cast.Expr) -> None:
+        """Global initializers must be (signed) numeric or string literals."""
+        e = expr
+        if isinstance(e, cast.Unary) and e.op == "-":
+            e = e.operand
+        if not isinstance(e, (cast.IntLit, cast.FloatLit, cast.StrLit)):
+            raise TypeError_("global initializer must be a constant", expr.loc)
+        self.expr(expr)
+
+    # -- functions ---------------------------------------------------------------
+
+    def _check_funcdef(self, fn: cast.FuncDef) -> None:
+        self.current_fn = fn
+        self.scope = _Scope(self.globals)
+        if fn.ty.ret.is_struct():
+            raise TypeError_(
+                f"{fn.name!r} returns a struct by value; return a pointer",
+                fn.loc,
+            )
+        seen = set()
+        for p in fn.params:
+            if p.name in seen:
+                raise TypeError_(f"duplicate parameter {p.name!r}", p.loc)
+            seen.add(p.name)
+            p.ty = T.decay(p.ty)
+            if p.ty.is_struct():
+                raise TypeError_(
+                    f"parameter {p.name!r} passes a struct by value; "
+                    "pass a pointer", p.loc,
+                )
+            self.scope.declare(p.name, p, p.loc)
+        self.block(fn.body, new_scope=False)
+        self.scope = self.globals
+        self.current_fn = None
+
+    # -- statements ----------------------------------------------------------------
+
+    def block(self, blk: cast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self.scope = _Scope(self.scope)
+        for stmt in blk.stmts:
+            self.stmt(stmt)
+        if new_scope:
+            self.scope = self.scope.parent
+
+    def stmt(self, node: cast.Stmt) -> None:
+        if isinstance(node, cast.Block):
+            self.block(node)
+        elif isinstance(node, cast.ExprStmt):
+            self.expr(node.expr)
+        elif isinstance(node, cast.DeclStmt):
+            for decl in node.decls:
+                self._check_local_var(decl)
+        elif isinstance(node, cast.If):
+            self._require_scalar(self.expr(node.cond), node.cond.loc)
+            self.stmt(node.then)
+            if node.other is not None:
+                self.stmt(node.other)
+        elif isinstance(node, cast.While):
+            self._require_scalar(self.expr(node.cond), node.cond.loc)
+            self._in_loop(node.body)
+        elif isinstance(node, cast.DoWhile):
+            self._in_loop(node.body)
+            self._require_scalar(self.expr(node.cond), node.cond.loc)
+        elif isinstance(node, cast.For):
+            if node.init is not None:
+                self.expr(node.init)
+            if node.cond is not None:
+                self._require_scalar(self.expr(node.cond), node.cond.loc)
+            if node.update is not None:
+                self.expr(node.update)
+            self._in_loop(node.body)
+        elif isinstance(node, cast.Switch):
+            self._check_switch(node)
+        elif isinstance(node, cast.Return):
+            self._check_return(node)
+        elif isinstance(node, cast.Break):
+            if self.loop_depth[-1] == 0 and self.switch_depth[-1] == 0:
+                raise TypeError_("'break' outside of a loop or switch",
+                                 node.loc)
+        elif isinstance(node, cast.Continue):
+            if self.loop_depth[-1] == 0:
+                raise TypeError_("'continue' outside of a loop", node.loc)
+        elif isinstance(node, cast.Empty):
+            pass
+        else:  # pragma: no cover
+            raise TypeError_(f"unhandled statement {type(node).__name__}", node.loc)
+
+    def _in_loop(self, body: cast.Stmt) -> None:
+        self.loop_depth[-1] += 1
+        self.switch_depth[-1] += 1
+        self.stmt(body)
+        self.loop_depth[-1] -= 1
+        self.switch_depth[-1] -= 1
+
+    def _check_switch(self, node: cast.Switch) -> None:
+        ty = T.decay(self.expr(node.expr))
+        if not ty.is_integer():
+            raise TypeError_(f"switch requires an integer, got {ty}",
+                             node.expr.loc)
+        self.switch_depth[-1] += 1
+        self.scope = _Scope(self.scope)
+        for _value, stmts in node.cases:
+            for stmt in stmts:
+                self.stmt(stmt)
+        self.scope = self.scope.parent
+        self.switch_depth[-1] -= 1
+
+    def _check_return(self, node: cast.Return) -> None:
+        if self.current_tick is not None:
+            # A return inside dynamic code returns from the *generated*
+            # function; the return type is fixed by compile() (tcc 4.4).
+            if node.value is not None:
+                ty = T.decay(self.expr(node.value))
+                if not ty.is_scalar():
+                    raise TypeError_("dynamic return value must be scalar", node.loc)
+            return
+        ret = self.current_fn.ty.ret
+        if node.value is None:
+            if not ret.is_void():
+                raise TypeError_(
+                    f"{self.current_fn.name!r} must return a value", node.loc
+                )
+            return
+        if ret.is_void():
+            raise TypeError_(
+                f"void function {self.current_fn.name!r} returns a value", node.loc
+            )
+        ty = self.expr(node.value)
+        if not T.assignable(ret, ty):
+            raise TypeError_(f"cannot return {ty} as {ret}", node.loc)
+
+    def _check_local_var(self, decl: cast.VarDecl) -> None:
+        if decl.ty.is_void() or decl.ty.is_func():
+            raise TypeError_(f"invalid type for variable {decl.name!r}", decl.loc)
+        if decl.ty.is_array() and decl.ty.length is None:
+            if not isinstance(decl.init, list):
+                raise TypeError_(f"array {decl.name!r} has no size", decl.loc)
+            decl.ty = T.ArrayType(decl.ty.base, len(decl.init))
+        if decl.ty.is_struct():
+            if not decl.ty.complete:
+                raise TypeError_(
+                    f"variable {decl.name!r} has incomplete type", decl.loc
+                )
+            decl.needs_memory = True
+        if self.current_tick is not None:
+            # Dynamic local: scalars become vspecs at instantiation time;
+            # arrays and structs get per-instantiation memory.
+            if decl.ty.is_cspec() or decl.ty.is_vspec() or (
+                decl.ty.is_array() and (decl.ty.base.is_cspec() or
+                                        decl.ty.base.is_vspec())
+            ):
+                raise TypeError_(
+                    "specification values cannot be dynamic locals", decl.loc
+                )
+            decl.owner_tick = self.current_tick
+        if decl.ty.is_array():
+            decl.needs_memory = not (decl.ty.base.is_cspec() or
+                                     decl.ty.base.is_vspec())
+        self.scope.declare(decl.name, decl, decl.loc)
+        if decl.init is not None:
+            if isinstance(decl.init, list):
+                if not decl.ty.is_array():
+                    raise TypeError_("brace initializer for non-array", decl.loc)
+                if len(decl.init) > decl.ty.length:
+                    raise TypeError_("too many initializers", decl.loc)
+                for item in decl.init:
+                    ity = self.expr(item)
+                    if not T.assignable(decl.ty.base, ity):
+                        raise TypeError_(
+                            f"cannot initialize {decl.ty.base} with {ity}", item.loc
+                        )
+            else:
+                ity = self.expr(decl.init)
+                if not T.assignable(decl.ty, ity):
+                    raise TypeError_(
+                        f"cannot initialize {decl.ty} with {ity}", decl.loc
+                    )
+
+    # -- expressions -------------------------------------------------------------
+
+    def expr(self, node: cast.Expr) -> T.CType:
+        """Type-check ``node``; annotate and return its type."""
+        method = getattr(self, "_e_" + type(node).__name__, None)
+        if method is None:  # pragma: no cover
+            raise TypeError_(f"unhandled expression {type(node).__name__}", node.loc)
+        ty = method(node)
+        node.ty = ty
+        return ty
+
+    def _require_scalar(self, ty: T.CType, loc) -> None:
+        if not T.decay(ty).is_scalar():
+            raise TypeError_(f"scalar value required, got {ty}", loc)
+
+    # literals
+
+    def _e_IntLit(self, node: cast.IntLit) -> T.CType:
+        return T.INT
+
+    def _e_FloatLit(self, node: cast.FloatLit) -> T.CType:
+        return T.DOUBLE
+
+    def _e_StrLit(self, node: cast.StrLit) -> T.CType:
+        return T.PointerType(T.CHAR)
+
+    # names
+
+    def _e_Ident(self, node: cast.Ident) -> T.CType:
+        decl = self.scope.lookup(node.name)
+        if decl is None:
+            decl = BUILTINS.get(node.name)
+        if decl is None:
+            raise TypeError_(f"undeclared identifier {node.name!r}", node.loc)
+        node.decl = decl
+        tick = self.current_tick
+
+        if isinstance(decl, (cast.FuncDef, Builtin)):
+            if self.in_dollar:
+                raise TypeError_(
+                    f"$ may not capture function {node.name!r}", node.loc
+                )
+            if tick is not None and isinstance(decl, Builtin) and decl.spec_time_only:
+                raise TypeError_(
+                    f"{node.name!r} may not be called from dynamic code", node.loc
+                )
+            return decl.ty
+
+        declared_inside = getattr(decl, "owner_tick", None) is tick and tick is not None
+        if tick is None or declared_inside or self.in_dollar:
+            if self.in_dollar and decl.ty.is_cspec():
+                raise TypeError_("$ may not be applied to cspec values", node.loc)
+            if self.in_dollar and decl.ty.is_vspec():
+                raise TypeError_("$ may not be applied to vspec values", node.loc)
+            node.lvalue = not decl.ty.is_array()
+            return decl.ty
+
+        # Reference from dynamic code to an outer binding: capture it.
+        if decl.ty.is_array() and (decl.ty.base.is_cspec() or
+                                   decl.ty.base.is_vspec()):
+            raise TypeError_(
+                f"specification array {node.name!r} may only be used at "
+                "specification time",
+                node.loc,
+            )
+        if decl.ty.is_cspec():
+            self._capture(decl, CaptureKind.CSPEC)
+            node.lvalue = False
+            return decl.ty.eval_type
+        if decl.ty.is_vspec():
+            self._capture(decl, CaptureKind.VSPEC)
+            node.lvalue = True
+            return decl.ty.eval_type
+        self._capture(decl, CaptureKind.FREEVAR)
+        decl.needs_memory = True
+        node.lvalue = not decl.ty.is_array()
+        return decl.ty
+
+    def _capture(self, decl, kind: CaptureKind) -> Capture:
+        tick = self.current_tick
+        key = (id(decl), kind)
+        cap = tick.captures.get(key)
+        if cap is None:
+            prefix = {
+                CaptureKind.FREEVAR: "fv",
+                CaptureKind.RTCONST: "rc",
+                CaptureKind.CSPEC: "cs",
+                CaptureKind.VSPEC: "vs",
+            }[kind]
+            cap = Capture(f"{prefix}_{decl.name}_{len(tick.captures)}", kind, decl)
+            tick.captures[key] = cap
+        return cap
+
+    # operators
+
+    def _e_Unary(self, node: cast.Unary) -> T.CType:
+        op = node.op
+        if op == "&":
+            ty = self.expr(node.operand)
+            if isinstance(node.operand, cast.Ident) and isinstance(
+                node.operand.decl, cast.FuncDef
+            ):
+                return T.PointerType(ty)
+            if ty.is_array():
+                if ty.base.is_cspec() or ty.base.is_vspec():
+                    raise TypeError_(
+                        "cannot take the address of a specification array",
+                        node.loc,
+                    )
+                return T.PointerType(ty.base)
+            if not node.operand.lvalue:
+                raise TypeError_("& requires an lvalue", node.loc)
+            self._mark_address_taken(node.operand)
+            return T.PointerType(ty)
+        ty = T.decay(self.expr(node.operand))
+        if op == "*":
+            if ty.is_pointer():
+                base = ty.base
+                if base.is_func():
+                    return base
+                if base.is_void():
+                    raise TypeError_("cannot dereference void *", node.loc)
+                node.lvalue = True
+                return base
+            if ty.is_func():
+                return ty
+            raise TypeError_(f"cannot dereference {ty}", node.loc)
+        if op in ("-", "+"):
+            if not ty.is_arith():
+                raise TypeError_(f"unary {op} requires arithmetic operand", node.loc)
+            return T.DOUBLE if ty.is_float() else T.promote(ty)
+        if op == "!":
+            self._require_scalar(ty, node.loc)
+            return T.INT
+        if op == "~":
+            if not ty.is_integer():
+                raise TypeError_("~ requires an integer operand", node.loc)
+            return T.promote(ty)
+        if op in ("++", "--", "post++", "post--"):
+            if not node.operand.lvalue:
+                raise TypeError_(f"{op} requires an lvalue", node.loc)
+            if not ty.is_scalar():
+                raise TypeError_(f"{op} requires a scalar operand", node.loc)
+            return ty
+        raise TypeError_(f"unknown unary operator {op!r}", node.loc)  # pragma: no cover
+
+    def _mark_address_taken(self, expr: cast.Expr) -> None:
+        if isinstance(expr, cast.Ident):
+            decl = expr.decl
+            if getattr(decl, "owner_tick", None) is not None and \
+                    decl.ty.is_scalar():
+                raise TypeError_(
+                    f"cannot take the address of dynamic local {decl.name!r}"
+                    " (it lives in a register)",
+                    expr.loc,
+                )
+            if hasattr(decl, "needs_memory"):
+                decl.needs_memory = True
+        elif isinstance(expr, cast.Index):
+            self.expr(expr.base)  # arrays/pointers are already memory-backed
+        elif isinstance(expr, cast.Member):
+            pass  # structs are always memory-backed
+
+    def _e_Binary(self, node: cast.Binary) -> T.CType:
+        op = node.op
+        lty = T.decay(self.expr(node.left))
+        rty = T.decay(self.expr(node.right))
+        if op in _LOGIC_OPS:
+            self._require_scalar(lty, node.left.loc)
+            self._require_scalar(rty, node.right.loc)
+            return T.INT
+        if op in _REL_OPS:
+            if lty.is_arith() and rty.is_arith():
+                return T.INT
+            if lty.is_pointer() and rty.is_pointer():
+                return T.INT
+            if (lty.is_pointer() and rty.is_integer()) or (
+                lty.is_integer() and rty.is_pointer()
+            ):
+                return T.INT  # comparisons against NULL written as 0
+            raise TypeError_(f"cannot compare {lty} and {rty}", node.loc)
+        if op == "+":
+            if lty.is_pointer() and rty.is_integer():
+                return lty
+            if lty.is_integer() and rty.is_pointer():
+                return rty
+            return T.usual_arith(lty, rty, node.loc)
+        if op == "-":
+            if lty.is_pointer() and rty.is_integer():
+                return lty
+            if lty.is_pointer() and rty.is_pointer():
+                if lty.base != rty.base:
+                    raise TypeError_("pointer subtraction type mismatch", node.loc)
+                return T.INT
+            return T.usual_arith(lty, rty, node.loc)
+        if op in _INT_OPS:
+            if not (lty.is_integer() and rty.is_integer()):
+                raise TypeError_(f"{op!r} requires integer operands", node.loc)
+            return T.usual_arith(lty, rty, node.loc)
+        if op in ("*", "/"):
+            return T.usual_arith(lty, rty, node.loc)
+        raise TypeError_(f"unknown binary operator {op!r}", node.loc)  # pragma: no cover
+
+    def _e_Assign(self, node: cast.Assign) -> T.CType:
+        tty = self.expr(node.target)
+        if not node.target.lvalue:
+            raise TypeError_("assignment target is not an lvalue", node.loc)
+        vty = self.expr(node.value)
+        if node.op == "":
+            if not T.assignable(tty, vty):
+                raise TypeError_(f"cannot assign {vty} to {tty}", node.loc)
+            return tty
+        # Compound assignment.
+        vty = T.decay(vty)
+        if node.op in ("+", "-") and tty.is_pointer() and vty.is_integer():
+            return tty
+        if node.op in _INT_OPS and not (tty.is_integer() and vty.is_integer()):
+            raise TypeError_(f"{node.op}= requires integer operands", node.loc)
+        if not (tty.is_arith() and vty.is_arith()):
+            raise TypeError_(f"cannot apply {node.op}= to {tty} and {vty}", node.loc)
+        return tty
+
+    def _e_Cond(self, node: cast.Cond) -> T.CType:
+        self._require_scalar(self.expr(node.cond), node.cond.loc)
+        tty = T.decay(self.expr(node.then))
+        oty = T.decay(self.expr(node.other))
+        if tty.is_arith() and oty.is_arith():
+            return T.usual_arith(tty, oty, node.loc)
+        if tty == oty:
+            return tty
+        if tty.is_pointer() and oty.is_integer():
+            return tty
+        if tty.is_integer() and oty.is_pointer():
+            return oty
+        raise TypeError_(f"incompatible conditional arms: {tty} vs {oty}", node.loc)
+
+    def _e_Comma(self, node: cast.Comma) -> T.CType:
+        self.expr(node.left)
+        return self.expr(node.right)
+
+    def _e_Member(self, node: cast.Member) -> T.CType:
+        base_ty = self.expr(node.base)
+        if node.arrow:
+            base_ty = T.decay(base_ty)
+            if not (base_ty.is_pointer() and base_ty.base.is_struct()):
+                raise TypeError_(
+                    f"-> requires a pointer to struct, got {base_ty}",
+                    node.loc,
+                )
+            struct = base_ty.base
+        else:
+            if not base_ty.is_struct():
+                raise TypeError_(
+                    f". requires a struct, got {base_ty}", node.loc
+                )
+            struct = base_ty
+        if not struct.complete:
+            raise TypeError_(f"{struct} is incomplete here", node.loc)
+        found = struct.field(node.name)
+        if found is None:
+            raise TypeError_(
+                f"{struct} has no member {node.name!r}", node.loc
+            )
+        fty, _offset = found
+        node.lvalue = not fty.is_array()
+        return fty
+
+    def _e_Index(self, node: cast.Index) -> T.CType:
+        bty = T.decay(self.expr(node.base))
+        ity = T.decay(self.expr(node.index))
+        if bty.is_integer() and ity.is_pointer():
+            bty, ity = ity, bty
+        if not bty.is_pointer():
+            raise TypeError_(f"cannot index {bty}", node.loc)
+        if not ity.is_integer():
+            raise TypeError_("array index must be an integer", node.loc)
+        if bty.base.is_void() or bty.base.is_func():
+            raise TypeError_(f"cannot index pointer to {bty.base}", node.loc)
+        node.lvalue = not bty.base.is_array()
+        return bty.base
+
+    def _e_Cast(self, node: cast.Cast) -> T.CType:
+        ty = self.expr(node.expr)
+        target = node.target_type
+        if target.is_void():
+            return target
+        if not T.decay(ty).is_scalar() or not target.is_scalar():
+            raise TypeError_(f"invalid cast from {ty} to {target}", node.loc)
+        return target
+
+    def _e_SizeofType(self, node: cast.SizeofType) -> T.CType:
+        T.sizeof(node.target_type, node.loc)
+        return T.INT
+
+    def _e_SizeofExpr(self, node: cast.SizeofExpr) -> T.CType:
+        ty = self.expr(node.expr)
+        T.sizeof(ty, node.loc)
+        return T.INT
+
+    # calls and special forms
+
+    def _e_Call(self, node: cast.Call) -> T.CType:
+        fty = self.expr(node.fn)
+        if fty.is_pointer() and fty.base.is_func():
+            fty = fty.base
+        if not fty.is_func():
+            raise TypeError_(f"called object has type {fty}", node.loc)
+        params = fty.params
+        if len(node.args) < len(params) or (
+            len(node.args) > len(params) and not fty.varargs
+        ):
+            raise TypeError_(
+                f"expected {len(params)} argument(s), got {len(node.args)}", node.loc
+            )
+        for arg, pty in zip(node.args, params):
+            aty = self.expr(arg)
+            if not T.assignable(pty, aty):
+                raise TypeError_(f"cannot pass {aty} as {pty}", arg.loc)
+        for arg in node.args[len(params):]:
+            self.expr(arg)
+        if isinstance(node.fn, cast.Ident) and isinstance(node.fn.decl, Builtin):
+            node.builtin = node.fn.decl.name
+        return fty.ret
+
+    def _e_CompileForm(self, node: cast.CompileForm) -> T.CType:
+        if self.current_tick is not None:
+            raise TypeError_("compile() may not appear in dynamic code", node.loc)
+        ty = self.expr(node.cspec)
+        if not ty.is_cspec():
+            raise TypeError_(f"compile() requires a cspec, got {ty}", node.loc)
+        if not (node.ret_type.is_void() or node.ret_type.is_scalar()):
+            raise TypeError_("compile() return type must be scalar or void", node.loc)
+        # The parameter list of the generated function is not statically
+        # known (tcc section 3): the result accepts any arguments.
+        return T.PointerType(T.FunctionType(node.ret_type, (), varargs=True))
+
+    def _e_LocalForm(self, node: cast.LocalForm) -> T.CType:
+        if self.current_tick is not None:
+            raise TypeError_("local() may not appear in dynamic code", node.loc)
+        if not node.var_type.is_scalar():
+            raise TypeError_("local() requires a scalar type", node.loc)
+        return T.VspecType(node.var_type)
+
+    def _e_ParamForm(self, node: cast.ParamForm) -> T.CType:
+        if self.current_tick is not None:
+            raise TypeError_("param() may not appear in dynamic code", node.loc)
+        if not node.var_type.is_scalar():
+            raise TypeError_("param() requires a scalar type", node.loc)
+        ity = self.expr(node.index)
+        if not T.decay(ity).is_integer():
+            raise TypeError_("param() index must be an integer", node.loc)
+        return T.VspecType(node.var_type)
+
+    def _e_LabelForm(self, node: cast.LabelForm) -> T.CType:
+        if self.current_tick is not None:
+            raise TypeError_("make_label() may not appear in dynamic code",
+                             node.loc)
+        return T.CspecType(T.VOID)
+
+    def _e_JumpForm(self, node: cast.JumpForm) -> T.CType:
+        if self.current_tick is not None:
+            raise TypeError_("jump() may not appear in dynamic code",
+                             node.loc)
+        ty = self.expr(node.label)
+        if not (ty.is_cspec() and ty.eval_type.is_void()):
+            raise TypeError_(
+                f"jump() requires a label cspec, got {ty}", node.loc
+            )
+        return T.CspecType(T.VOID)
+
+    def _e_PushInit(self, node: cast.PushInit) -> T.CType:
+        if self.current_tick is not None:
+            raise TypeError_("push_init() may not appear in dynamic code",
+                             node.loc)
+        return T.VOID
+
+    def _e_Push(self, node: cast.Push) -> T.CType:
+        if self.current_tick is not None:
+            raise TypeError_("push() may not appear in dynamic code", node.loc)
+        ty = self.expr(node.arg)
+        if not (ty.is_cspec() and ty.eval_type.is_integer()):
+            raise TypeError_(
+                f"push() requires an int cspec argument, got {ty}", node.loc
+            )
+        return T.VOID
+
+    def _e_Apply(self, node: cast.Apply) -> T.CType:
+        if self.current_tick is not None:
+            raise TypeError_("apply() may not appear in dynamic code",
+                             node.loc)
+        ty = T.decay(self.expr(node.fn))
+        is_callable = ty.is_func() or (ty.is_pointer() and ty.base.is_func())
+        if not (is_callable or ty.is_integer()):
+            raise TypeError_(f"apply() requires a function, got {ty}", node.loc)
+        return T.CspecType(T.INT)
+
+    # `C operators
+
+    def _e_Tick(self, node: cast.Tick) -> T.CType:
+        if self.current_tick is not None:
+            raise TypeError_("backquote expressions may not nest", node.loc)
+        if self.in_dollar:
+            raise TypeError_("` may not appear inside $", node.loc)
+        node.tick_id = self.tick_counter
+        self.tick_counter += 1
+        self.current_tick = node
+        self.loop_depth.append(0)
+        self.switch_depth.append(0)
+        self.scope = _Scope(self.scope)
+        try:
+            if isinstance(node.body, cast.Block):
+                self.block(node.body, new_scope=False)
+                node.eval_type = T.VOID
+            else:
+                body_ty = T.decay(self.expr(node.body))
+                if body_ty.is_cspec() or body_ty.is_vspec():
+                    raise TypeError_(
+                        "tick body already has specification type", node.loc
+                    )
+                node.eval_type = body_ty
+        finally:
+            self.scope = self.scope.parent
+            self.loop_depth.pop()
+            self.switch_depth.pop()
+            self.current_tick = None
+        _analyze_tick(node)
+        if self.current_fn is not None:
+            self.current_fn.ticks.append(node)
+        return T.CspecType(node.eval_type)
+
+    def _e_Dollar(self, node: cast.Dollar) -> T.CType:
+        if self.current_tick is None:
+            raise TypeError_("$ may only appear inside a backquote expression",
+                             node.loc)
+        if self.in_dollar:
+            raise TypeError_("$ may not nest", node.loc)
+        self.in_dollar = True
+        try:
+            ty = T.decay(self.expr(node.expr))
+        finally:
+            self.in_dollar = False
+        if not ty.is_scalar():
+            raise TypeError_(f"$ requires a scalar operand, got {ty}", node.loc)
+        node.slot = len(self.current_tick.dollars)
+        self.current_tick.dollars.append(node)
+        return ty
+
+
+# ---------------------------------------------------------------------------
+# Per-tick analyses: derived run-time constants, unrolling, ETC marking
+# ---------------------------------------------------------------------------
+
+
+def _analyze_tick(tick: cast.Tick) -> None:
+    """Derived-RTC fixpoint, dollar classification, and ETC marking."""
+    assignments = _collect_assignments(tick.body)
+    changed = True
+    while changed:
+        changed = False
+        for node in cast.walk(tick.body):
+            if isinstance(node, cast.For) and not node.unroll:
+                induction = _unroll_candidate(tick, node, assignments)
+                if induction is not None:
+                    node.unroll = True
+                    node.induction = induction
+                    induction.derived_rtc = True
+                    changed = True
+    _classify_dollars(tick)
+    _mark_etc(tick.body if isinstance(tick.body, cast.Block) else tick.body)
+    for node in cast.walk(tick.body):
+        if isinstance(node, cast.If) and node.cond.etc:
+            node.emission_time = True
+
+
+def _collect_assignments(body: cast.Node) -> list:
+    """All (node, decl) pairs where ``node`` writes variable ``decl``."""
+    out = []
+    for node in cast.walk(body):
+        if isinstance(node, cast.Assign) and isinstance(node.target, cast.Ident):
+            out.append((node, node.target.decl))
+        elif isinstance(node, cast.Unary) and node.op in (
+            "++", "--", "post++", "post--"
+        ) and isinstance(node.operand, cast.Ident):
+            out.append((node, node.operand.decl))
+    return out
+
+
+def _unroll_candidate(tick: cast.Tick, loop: cast.For, assignments):
+    """If ``loop`` can be unrolled at emission time, return its induction
+    variable declaration, else None (tcc 4.4: loops bounded by run-time
+    constants whose induction variable becomes a derived run-time constant).
+    """
+    init, cond, update = loop.init, loop.cond, loop.update
+    if not (
+        isinstance(init, cast.Assign)
+        and init.op == ""
+        and isinstance(init.target, cast.Ident)
+    ):
+        return None
+    decl = init.target.decl
+    if not isinstance(decl, cast.VarDecl) or decl.owner_tick is not tick:
+        return None
+    if not decl.ty.is_integer():
+        return None
+    if not (
+        isinstance(cond, cast.Binary)
+        and cond.op in ("<", "<=", ">", ">=", "!=")
+        and isinstance(cond.left, cast.Ident)
+        and cond.left.decl is decl
+    ):
+        return None
+    step = _update_step(update, decl)
+    if step is None:
+        return None
+    # Bounds and step must be computable at emission time.
+    if not (_is_etc(init.value) and _is_etc(cond.right) and _is_etc(step)):
+        return None
+    # The induction variable may only be written by this loop's own
+    # init/update expressions.
+    for node, target in assignments:
+        if target is decl and node is not init and node is not update:
+            return None
+    # break/continue bound to this loop prevent unrolling.
+    if _has_direct_break(loop.body):
+        return None
+    return decl
+
+
+def _update_step(update, decl):
+    """The per-iteration step expression, or None if unsupported."""
+    if isinstance(update, cast.Unary) and isinstance(update.operand, cast.Ident) \
+            and update.operand.decl is decl:
+        if update.op in ("++", "post++"):
+            return cast.IntLit(1, update.loc)
+        if update.op in ("--", "post--"):
+            return cast.IntLit(-1, update.loc)
+        return None
+    if isinstance(update, cast.Assign) and isinstance(update.target, cast.Ident) \
+            and update.target.decl is decl:
+        if update.op == "+":
+            return update.value
+        if update.op == "-":
+            neg = cast.Unary("-", update.value, update.loc)
+            neg.ty = update.value.ty
+            return neg
+        return None
+    return None
+
+
+def _has_direct_break(body: cast.Node) -> bool:
+    """True if ``body`` contains a break/continue binding to this loop."""
+    if isinstance(body, (cast.Break, cast.Continue)):
+        return True
+    if isinstance(body, (cast.For, cast.While, cast.DoWhile)):
+        return False  # break inside a nested loop binds to that loop
+    return any(_has_direct_break(child) for child in cast.iter_child_nodes(body))
+
+
+def _is_etc(expr) -> bool:
+    """Is ``expr`` computable at emission time?  Literals, $-expressions, and
+    derived run-time constants compose under pure operators."""
+    if isinstance(expr, (cast.IntLit, cast.FloatLit)):
+        return True
+    if isinstance(expr, cast.Dollar):
+        return True
+    if isinstance(expr, cast.Ident):
+        return bool(getattr(expr.decl, "derived_rtc", False))
+    if isinstance(expr, cast.Unary):
+        return expr.op in ("-", "+", "!", "~") and _is_etc(expr.operand)
+    if isinstance(expr, cast.Binary):
+        return _is_etc(expr.left) and _is_etc(expr.right)
+    if isinstance(expr, cast.Cond):
+        return _is_etc(expr.cond) and _is_etc(expr.then) and _is_etc(expr.other)
+    if isinstance(expr, cast.Cast):
+        return _is_etc(expr.expr)
+    if isinstance(expr, (cast.SizeofType, cast.SizeofExpr)):
+        return True
+    return False
+
+
+def _mark_etc(node) -> None:
+    """Set ``expr.etc`` on every expression in the tick body, postorder."""
+    for child in cast.iter_child_nodes(node):
+        _mark_etc(child)
+    if isinstance(node, cast.Expr):
+        node.etc = _is_etc(node)
+
+
+def _classify_dollars(tick: cast.Tick) -> None:
+    """Decide, per $-expression, specification-time vs emission-time.
+
+    A ``$`` whose operand references a derived-RTC variable must be
+    re-evaluated at each unrolled emission step; every *other* variable it
+    mentions is captured by value (an RTCONST closure slot), exactly like
+    the ``c->row`` pointer in the paper's dot-product CGF.
+    """
+    for dollar in tick.dollars:
+        refs = [
+            n for n in cast.walk(dollar.expr)
+            if isinstance(n, cast.Ident)
+            and isinstance(n.decl, (cast.VarDecl, cast.ParamDecl))
+        ]
+        inner = [n for n in refs if getattr(n.decl, "owner_tick", None) is tick]
+        for ref in inner:
+            if not ref.decl.derived_rtc:
+                raise TypeError_(
+                    f"$ operand references dynamic local {ref.decl.name!r} "
+                    "that is not a derived run-time constant",
+                    ref.loc,
+                )
+        dollar.spectime = not inner
+        if not dollar.spectime:
+            # Emission-time $: capture outer variables by value.
+            for ref in refs:
+                if getattr(ref.decl, "owner_tick", None) is not tick:
+                    _add_rtconst_capture(tick, ref.decl)
+
+
+def _add_rtconst_capture(tick: cast.Tick, decl) -> None:
+    key = (id(decl), CaptureKind.RTCONST)
+    if key not in tick.captures:
+        tick.captures[key] = Capture(
+            f"rc_{decl.name}_{len(tick.captures)}", CaptureKind.RTCONST, decl
+        )
+
+
+def analyze(tu: cast.TranslationUnit) -> cast.TranslationUnit:
+    """Run semantic analysis over a parsed translation unit."""
+    return Sema(tu).run()

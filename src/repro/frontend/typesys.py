@@ -1,0 +1,378 @@
+"""The `C type system.
+
+Implements the ANSI C scalar/derived types the compiler supports plus the
+two `C additions: ``cspec`` (code specification) and ``vspec`` (variable
+specification), each carrying an *evaluation type* — the static type of the
+dynamic value of the code (tcc section 3).  Evaluation types are what let
+tcc type-check dynamic code entirely at static compile time.
+
+Sizes follow the 32-bit target: char 1, int/unsigned/pointer 4, double 8.
+``float`` is accepted in source and widened to double, as K&R-era compilers
+commonly did for expressions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeError_
+
+
+class CType:
+    """Base class for all types.  Instances are immutable and comparable."""
+
+    size = 0
+    align = 1
+
+    def is_integer(self) -> bool:
+        return False
+
+    def is_float(self) -> bool:
+        return False
+
+    def is_arith(self) -> bool:
+        return self.is_integer() or self.is_float()
+
+    def is_pointer(self) -> bool:
+        return False
+
+    def is_void(self) -> bool:
+        return False
+
+    def is_cspec(self) -> bool:
+        return False
+
+    def is_vspec(self) -> bool:
+        return False
+
+    def is_func(self) -> bool:
+        return False
+
+    def is_array(self) -> bool:
+        return False
+
+    def is_struct(self) -> bool:
+        return False
+
+    def is_scalar(self) -> bool:
+        return self.is_arith() or self.is_pointer()
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+
+class VoidType(CType):
+    size = 0
+
+    def is_void(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(CType):
+    """Integer types: char, int, unsigned — ``kind`` in {'char','int'}."""
+
+    def __init__(self, kind: str = "int", signed: bool = True):
+        if kind not in ("char", "int"):
+            raise ValueError(f"bad integer kind {kind!r}")
+        self.kind = kind
+        self.signed = signed
+        self.size = 1 if kind == "char" else 4
+        self.align = self.size
+
+    def is_integer(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, IntType)
+            and other.kind == self.kind
+            and other.signed == self.signed
+        )
+
+    def __hash__(self) -> int:
+        return hash(("int", self.kind, self.signed))
+
+    def __str__(self) -> str:
+        base = self.kind
+        return base if self.signed else f"unsigned {base}"
+
+
+class FloatType(CType):
+    size = 8
+    align = 8
+
+    def is_float(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FloatType)
+
+    def __hash__(self) -> int:
+        return hash("double")
+
+    def __str__(self) -> str:
+        return "double"
+
+
+class PointerType(CType):
+    size = 4
+    align = 4
+
+    def __init__(self, base: CType):
+        self.base = base
+
+    def is_pointer(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PointerType) and other.base == self.base
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.base))
+
+    def __str__(self) -> str:
+        return f"{self.base} *"
+
+
+class ArrayType(CType):
+    def __init__(self, base: CType, length: int | None):
+        self.base = base
+        self.length = length
+        self.size = 0 if length is None else base.size * length
+        self.align = base.align
+
+    def is_array(self) -> bool:
+        return True
+
+    def decay(self) -> PointerType:
+        return PointerType(self.base)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and other.base == self.base
+            and other.length == self.length
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.base, self.length))
+
+    def __str__(self) -> str:
+        n = "" if self.length is None else str(self.length)
+        return f"{self.base} [{n}]"
+
+
+class FunctionType(CType):
+    size = 4  # as a pointer
+
+    def __init__(self, ret: CType, params: tuple, varargs: bool = False):
+        self.ret = ret
+        self.params = tuple(params)
+        self.varargs = varargs
+
+    def is_func(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FunctionType)
+            and other.ret == self.ret
+            and other.params == self.params
+            and other.varargs == self.varargs
+        )
+
+    def __hash__(self) -> int:
+        return hash(("func", self.ret, self.params, self.varargs))
+
+    def __str__(self) -> str:
+        ps = ", ".join(str(p) for p in self.params) or "void"
+        if self.varargs:
+            ps += ", ..."
+        return f"{self.ret} (*)({ps})"
+
+
+class StructType(CType):
+    """A named structure.  Fields are laid out in declaration order with
+    natural alignment; the struct is padded to its own alignment.
+
+    Instances are created empty (so self-referential pointer fields can
+    name the tag while it is being defined) and completed via
+    :meth:`define`.  Identity is by tag object, not field list.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.fields: list = []       # [(name, CType, offset)]
+        self.complete = False
+        self.size = 0
+        self.align = 1
+
+    def define(self, fields) -> None:
+        if self.complete:
+            raise TypeError_(f"redefinition of struct {self.name!r}")
+        offset = 0
+        align = 1
+        laid_out = []
+        for fname, fty in fields:
+            falign = max(fty.align, 1)
+            offset = (offset + falign - 1) & ~(falign - 1)
+            laid_out.append((fname, fty, offset))
+            offset += fty.size
+            align = max(align, falign)
+        self.fields = laid_out
+        self.align = align
+        self.size = (offset + align - 1) & ~(align - 1) if offset else 0
+        self.complete = True
+
+    def field(self, name: str):
+        """Return (type, offset) of a member, or None."""
+        for fname, fty, offset in self.fields:
+            if fname == name:
+                return fty, offset
+        return None
+
+    def is_struct(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return other is self  # tag identity
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+class CspecType(CType):
+    """``T cspec``: a specification of dynamic code whose value has type T."""
+
+    size = 4  # implemented as a pointer to a closure (tcc 4.2)
+    align = 4
+
+    def __init__(self, eval_type: CType):
+        self.eval_type = eval_type
+
+    def is_cspec(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CspecType) and other.eval_type == self.eval_type
+
+    def __hash__(self) -> int:
+        return hash(("cspec", self.eval_type))
+
+    def __str__(self) -> str:
+        return f"{self.eval_type} cspec"
+
+
+class VspecType(CType):
+    """``T vspec``: a dynamically created lvalue of evaluation type T."""
+
+    size = 4
+    align = 4
+
+    def __init__(self, eval_type: CType):
+        self.eval_type = eval_type
+
+    def is_vspec(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VspecType) and other.eval_type == self.eval_type
+
+    def __hash__(self) -> int:
+        return hash(("vspec", self.eval_type))
+
+    def __str__(self) -> str:
+        return f"{self.eval_type} vspec"
+
+
+# Singletons for the common cases.
+VOID = VoidType()
+CHAR = IntType("char", signed=True)
+UCHAR = IntType("char", signed=False)
+INT = IntType("int", signed=True)
+UINT = IntType("int", signed=False)
+DOUBLE = FloatType()
+CHAR_PTR = PointerType(CHAR)
+INT_PTR = PointerType(INT)
+VOID_PTR = PointerType(VOID)
+
+
+def promote(t: CType) -> CType:
+    """Integral promotion: char -> int."""
+    if isinstance(t, IntType) and t.kind == "char":
+        return INT
+    return t
+
+
+def usual_arith(a: CType, b: CType, loc=None) -> CType:
+    """The usual arithmetic conversions for a binary operator."""
+    if not a.is_arith() or not b.is_arith():
+        raise TypeError_(f"arithmetic operands required, got {a} and {b}", loc)
+    if a.is_float() or b.is_float():
+        return DOUBLE
+    a, b = promote(a), promote(b)
+    if (isinstance(a, IntType) and not a.signed) or (
+        isinstance(b, IntType) and not b.signed
+    ):
+        return UINT
+    return INT
+
+
+def decay(t: CType) -> CType:
+    """Array-to-pointer and function-to-pointer decay."""
+    if t.is_array():
+        return t.decay()
+    if t.is_func():
+        return PointerType(t)
+    return t
+
+
+def assignable(dst: CType, src: CType) -> bool:
+    """Can a value of type ``src`` be assigned to an lvalue of ``dst``?"""
+    src = decay(src)
+    if dst == src:
+        return True
+    if dst.is_arith() and src.is_arith():
+        return True
+    if dst.is_pointer() and src.is_pointer():
+        base_d = dst.base
+        base_s = src.base
+        return base_d.is_void() or base_s.is_void() or base_d == base_s
+    if dst.is_pointer() and src.is_integer():
+        return True  # accepted with the C tradition of int/pointer mixing
+    if dst.is_integer() and src.is_pointer():
+        return True
+    if dst.is_struct() and src.is_struct():
+        return dst == src
+    if dst.is_cspec() and src.is_cspec():
+        return dst.eval_type == src.eval_type
+    if dst.is_vspec() and src.is_vspec():
+        return dst.eval_type == src.eval_type
+    return False
+
+
+def storage_kind(t: CType) -> str:
+    """The register class a value of this type travels in: 'i' or 'f'."""
+    if t.is_float():
+        return "f"
+    return "i"
+
+
+def sizeof(t: CType, loc=None) -> int:
+    if t.is_void() or (t.is_array() and t.length is None):
+        raise TypeError_(f"sizeof applied to incomplete type {t}", loc)
+    if t.is_struct() and not t.complete:
+        raise TypeError_(f"sizeof applied to incomplete {t}", loc)
+    if t.is_func():
+        raise TypeError_("sizeof applied to function type", loc)
+    return t.size

@@ -1,0 +1,251 @@
+"""Render `C ASTs back to source text.
+
+Used by the CGF inspector (:mod:`repro.core.pretty`) and by round-trip
+tests (``parse(unparse(parse(src)))`` must be stable).  Output is fully
+parenthesized, so operator precedence never needs reconstructing.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import cast
+from repro.frontend import typesys as T
+
+_ESCAPES = {
+    "\n": "\\n", "\t": "\\t", "\r": "\\r", "\0": "\\0", "\\": "\\\\",
+    '"': '\\"', "\a": "\\a", "\b": "\\b", "\f": "\\f", "\v": "\\v",
+}
+
+
+def _escape(text: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in text)
+
+
+def type_name(ty: T.CType) -> str:
+    """A type as it appears in a declaration specifier + abstract
+    declarator position (sufficient for the supported subset)."""
+    if isinstance(ty, T.PointerType):
+        return f"{type_name(ty.base)} *"
+    if isinstance(ty, T.CspecType):
+        return f"{type_name(ty.eval_type)} cspec"
+    if isinstance(ty, T.VspecType):
+        return f"{type_name(ty.eval_type)} vspec"
+    if isinstance(ty, T.FunctionType):
+        params = ", ".join(type_name(p) for p in ty.params) or "void"
+        if ty.varargs:
+            params = params + ", ..." if ty.params else "..."
+        return f"{type_name(ty.ret)} (*)({params})"
+    if isinstance(ty, T.ArrayType):
+        n = "" if ty.length is None else str(ty.length)
+        return f"{type_name(ty.base)}[{n}]"
+    return str(ty)
+
+
+def _declaration(name: str, ty: T.CType) -> str:
+    """Declare ``name`` with ``ty`` (handles the common declarator shapes)."""
+    if isinstance(ty, T.ArrayType):
+        n = "" if ty.length is None else str(ty.length)
+        return f"{type_name(ty.base)} {name}[{n}]"
+    if isinstance(ty, T.PointerType) and ty.base.is_func():
+        fn = ty.base
+        params = ", ".join(type_name(p) for p in fn.params) or "void"
+        if fn.varargs:
+            params = params + ", ..." if fn.params else ""
+        return f"{type_name(fn.ret)} (*{name})({params})"
+    return f"{type_name(ty)} {name}"
+
+
+class Unparser:
+    def __init__(self, indent: str = "    "):
+        self.indent = indent
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr(self, e) -> str:
+        method = getattr(self, "_e_" + type(e).__name__, None)
+        if method is None:
+            raise ValueError(f"cannot unparse {type(e).__name__}")
+        return method(e)
+
+    def _e_IntLit(self, e):
+        return str(e.value)
+
+    def _e_FloatLit(self, e):
+        text = repr(float(e.value))
+        return text if ("." in text or "e" in text or "inf" in text) \
+            else text + ".0"
+
+    def _e_StrLit(self, e):
+        return f'"{_escape(e.value)}"'
+
+    def _e_Ident(self, e):
+        return e.name
+
+    def _e_Unary(self, e):
+        if e.op.startswith("post"):
+            return f"({self.expr(e.operand)}{e.op[4:]})"
+        return f"({e.op} {self.expr(e.operand)})"
+
+    def _e_Binary(self, e):
+        return f"({self.expr(e.left)} {e.op} {self.expr(e.right)})"
+
+    def _e_Assign(self, e):
+        return f"({self.expr(e.target)} {e.op}= {self.expr(e.value)})"
+
+    def _e_Cond(self, e):
+        return (
+            f"({self.expr(e.cond)} ? {self.expr(e.then)}"
+            f" : {self.expr(e.other)})"
+        )
+
+    def _e_Comma(self, e):
+        return f"({self.expr(e.left)}, {self.expr(e.right)})"
+
+    def _e_Call(self, e):
+        args = ", ".join(self.expr(a) for a in e.args)
+        return f"{self.expr(e.fn)}({args})"
+
+    def _e_Index(self, e):
+        return f"{self.expr(e.base)}[{self.expr(e.index)}]"
+
+    def _e_Member(self, e):
+        sep = "->" if e.arrow else "."
+        return f"{self.expr(e.base)}{sep}{e.name}"
+
+    def _e_Cast(self, e):
+        return f"(({type_name(e.target_type)}){self.expr(e.expr)})"
+
+    def _e_SizeofType(self, e):
+        return f"sizeof({type_name(e.target_type)})"
+
+    def _e_SizeofExpr(self, e):
+        return f"sizeof {self.expr(e.expr)}"
+
+    def _e_Tick(self, e):
+        if isinstance(e.body, cast.Block):
+            return "`" + self.block(e.body, 0).lstrip()
+        return f"`{self.expr(e.body)}"
+
+    def _e_Dollar(self, e):
+        return f"${self.expr(e.expr)}"
+
+    def _e_CompileForm(self, e):
+        return f"compile({self.expr(e.cspec)}, {type_name(e.ret_type)})"
+
+    def _e_LocalForm(self, e):
+        return f"local({type_name(e.var_type)})"
+
+    def _e_ParamForm(self, e):
+        return f"param({type_name(e.var_type)}, {self.expr(e.index)})"
+
+    def _e_PushInit(self, e):
+        return "push_init()"
+
+    def _e_Push(self, e):
+        return f"push({self.expr(e.arg)})"
+
+    def _e_Apply(self, e):
+        return f"apply({self.expr(e.fn)})"
+
+    def _e_LabelForm(self, e):
+        return "make_label()"
+
+    def _e_JumpForm(self, e):
+        return f"jump({self.expr(e.label)})"
+
+    # -- statements -----------------------------------------------------------
+
+    def stmt(self, node, depth: int = 0) -> str:
+        pad = self.indent * depth
+        if isinstance(node, cast.Block):
+            return self.block(node, depth)
+        if isinstance(node, cast.ExprStmt):
+            return f"{pad}{self.expr(node.expr)};"
+        if isinstance(node, cast.DeclStmt):
+            return "\n".join(
+                f"{pad}{self._decl(d)};" for d in node.decls
+            )
+        if isinstance(node, cast.If):
+            out = f"{pad}if ({self.expr(node.cond)})\n" + \
+                self.stmt(node.then, depth + 1)
+            if node.other is not None:
+                out += f"\n{pad}else\n" + self.stmt(node.other, depth + 1)
+            return out
+        if isinstance(node, cast.While):
+            return f"{pad}while ({self.expr(node.cond)})\n" + \
+                self.stmt(node.body, depth + 1)
+        if isinstance(node, cast.DoWhile):
+            return (f"{pad}do\n" + self.stmt(node.body, depth + 1) +
+                    f"\n{pad}while ({self.expr(node.cond)});")
+        if isinstance(node, cast.For):
+            init = "" if node.init is None else self.expr(node.init)
+            cond = "" if node.cond is None else self.expr(node.cond)
+            update = "" if node.update is None else self.expr(node.update)
+            return (f"{pad}for ({init}; {cond}; {update})\n" +
+                    self.stmt(node.body, depth + 1))
+        if isinstance(node, cast.Switch):
+            lines = [f"{pad}switch ({self.expr(node.expr)}) {{"]
+            for value, stmts in node.cases:
+                label = "default" if value is None else f"case {value}"
+                lines.append(f"{pad}{label}:")
+                lines.extend(self.stmt(s, depth + 1) for s in stmts)
+            lines.append(f"{pad}}}")
+            return "\n".join(lines)
+        if isinstance(node, cast.Return):
+            if node.value is None:
+                return f"{pad}return;"
+            return f"{pad}return {self.expr(node.value)};"
+        if isinstance(node, cast.Break):
+            return f"{pad}break;"
+        if isinstance(node, cast.Continue):
+            return f"{pad}continue;"
+        if isinstance(node, cast.Empty):
+            return f"{pad};"
+        raise ValueError(f"cannot unparse statement {type(node).__name__}")
+
+    def block(self, blk: cast.Block, depth: int) -> str:
+        pad = self.indent * depth
+        inner = "\n".join(self.stmt(s, depth + 1) for s in blk.stmts)
+        if not inner:
+            return f"{pad}{{\n{pad}}}"
+        return f"{pad}{{\n{inner}\n{pad}}}"
+
+    def _decl(self, d: cast.VarDecl) -> str:
+        text = _declaration(d.name, d.ty)
+        if d.init is None:
+            return text
+        if isinstance(d.init, list):
+            items = ", ".join(self.expr(i) for i in d.init)
+            return f"{text} = {{{items}}}"
+        return f"{text} = {self.expr(d.init)}"
+
+    # -- top level --------------------------------------------------------------
+
+    def funcdef(self, fn: cast.FuncDef) -> str:
+        params = ", ".join(
+            _declaration(p.name, p.ty) for p in fn.params
+        ) or "void"
+        head = f"{type_name(fn.ty.ret)} {fn.name}({params})"
+        if fn.body is None:
+            return head + ";"
+        return head + "\n" + self.block(fn.body, 0)
+
+    def translation_unit(self, tu: cast.TranslationUnit) -> str:
+        chunks = []
+        for d in tu.decls:
+            if isinstance(d, cast.FuncDef):
+                chunks.append(self.funcdef(d))
+            else:
+                chunks.append(self._decl(d) + ";")
+        return "\n\n".join(chunks) + "\n"
+
+
+def unparse(node) -> str:
+    """Unparse an expression, statement, function, or translation unit."""
+    up = Unparser()
+    if isinstance(node, cast.TranslationUnit):
+        return up.translation_unit(node)
+    if isinstance(node, cast.FuncDef):
+        return up.funcdef(node)
+    if isinstance(node, cast.Stmt):
+        return up.stmt(node)
+    return up.expr(node)

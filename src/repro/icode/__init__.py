@@ -1,0 +1,26 @@
+"""ICODE: the optimizing dynamic back end (tcc section 5.2).
+
+ICODE extends the VCODE interface with an infinite register file and
+usage-frequency hints.  Instead of emitting binary code immediately, its
+macros record a compact intermediate representation; when ``compile`` is
+invoked, ICODE builds a flow graph, computes live variables, coarsens them
+to *live intervals*, allocates registers with either the paper's linear-scan
+algorithm (Figure 3) or a Chaitin-style graph colorer, and finally
+translates the IR to target code.
+"""
+
+from repro.icode.backend import IcodeBackend
+from repro.icode.ir import IRInstr, IRFunction
+from repro.icode.linearscan import linear_scan
+from repro.icode.graphcolor import graph_color
+from repro.icode.intervals import Interval, build_intervals
+
+__all__ = [
+    "IcodeBackend",
+    "IRInstr",
+    "IRFunction",
+    "linear_scan",
+    "graph_color",
+    "Interval",
+    "build_intervals",
+]

@@ -1,0 +1,192 @@
+"""Block-local IR optimizations: constant/copy propagation and dead-code
+elimination.
+
+These run before register allocation.  The *static* gcc-level pipeline uses
+them (our stand-in for the GNU CC baseline); the dynamic ICODE back end does
+not, matching the paper's description of ICODE as performing register
+allocation plus peephole work only.
+"""
+
+from __future__ import annotations
+
+from repro.core.operands import VReg
+from repro.target.isa import Op, wrap32
+
+#: ops with an immediate twin: reg-form -> (imm-form, python function)
+_FOLDABLE = {
+    Op.ADD: (Op.ADDI, lambda a, b: a + b),
+    Op.SUB: (Op.SUBI, lambda a, b: a - b),
+    Op.MUL: (Op.MULI, lambda a, b: a * b),
+    Op.AND: (Op.ANDI, lambda a, b: a & b),
+    Op.OR: (Op.ORI, lambda a, b: a | b),
+    Op.XOR: (Op.XORI, lambda a, b: a ^ b),
+    Op.SLL: (Op.SLLI, lambda a, b: a << (b & 31)),
+    Op.SRA: (Op.SRAI, lambda a, b: a >> (b & 31)),
+    Op.SEQ: (Op.SEQI, lambda a, b: int(a == b)),
+    Op.SNE: (Op.SNEI, lambda a, b: int(a != b)),
+    Op.SLT: (Op.SLTI, lambda a, b: int(a < b)),
+    Op.SLE: (Op.SLEI, lambda a, b: int(a <= b)),
+    Op.SGT: (Op.SGTI, lambda a, b: int(a > b)),
+    Op.SGE: (Op.SGEI, lambda a, b: int(a >= b)),
+}
+
+_IMM_FOLD = {
+    Op.ADDI: lambda a, b: a + b,
+    Op.SUBI: lambda a, b: a - b,
+    Op.MULI: lambda a, b: a * b,
+    Op.ANDI: lambda a, b: a & b,
+    Op.ORI: lambda a, b: a | b,
+    Op.XORI: lambda a, b: a ^ b,
+    Op.SLLI: lambda a, b: a << (b & 31),
+    Op.SRAI: lambda a, b: a >> (b & 31),
+    Op.SEQI: lambda a, b: int(a == b),
+    Op.SNEI: lambda a, b: int(a != b),
+    Op.SLTI: lambda a, b: int(a < b),
+    Op.SLEI: lambda a, b: int(a <= b),
+    Op.SGTI: lambda a, b: int(a > b),
+    Op.SGEI: lambda a, b: int(a >= b),
+}
+
+_PURE_PSEUDOS = frozenset()
+
+
+def _is_pure(instr) -> bool:
+    """Instruction has no effect besides writing its destination vreg."""
+    op = instr.op
+    if isinstance(op, str):
+        return False
+    if op in (Op.SW, Op.SB, Op.FSW, Op.JMP, Op.BEQZ, Op.BNEZ, Op.RET,
+              Op.HALT, Op.CALL, Op.CALLR, Op.HOSTCALL, Op.NOP):
+        return False
+    # Loads are pure in this IR (no volatile memory).
+    return isinstance(instr.a, VReg)
+
+
+def propagate_block(ir, start: int, end: int) -> int:
+    """Constant and copy propagation within one block; returns the number of
+    rewrites performed."""
+    instrs = ir.instrs
+    consts: dict = {}  # VReg -> int
+    copies: dict = {}  # VReg -> VReg
+    rewrites = 0
+
+    def resolve(v):
+        seen = set()
+        while v in copies and v not in seen:
+            seen.add(v)
+            v = copies[v]
+        return v
+
+    def kill(v):
+        consts.pop(v, None)
+        copies.pop(v, None)
+        for key in [k for k, val in copies.items() if val == v]:
+            del copies[key]
+
+    for i in range(start, end):
+        instr = instrs[i]
+        op = instr.op
+        if isinstance(op, str):
+            if op in ("call", "hostcall"):
+                if instr.args:
+                    new_args = []
+                    for vr, cls in instr.args:
+                        root = resolve(vr) if isinstance(vr, VReg) else vr
+                        if root is not vr:
+                            rewrites += 1
+                        new_args.append((root, cls))
+                    instr.args = new_args
+                if isinstance(instr.target, VReg):
+                    instr.target = resolve(instr.target)
+                if isinstance(instr.a, VReg):
+                    kill(instr.a)
+            elif op == "ret" and isinstance(instr.a, VReg):
+                instr.a = resolve(instr.a)
+            elif op == "getarg" and isinstance(instr.a, VReg):
+                kill(instr.a)
+            continue
+        # Rewrite sources through the copy/const environment.
+        for field in ("b", "c"):
+            v = getattr(instr, field)
+            if isinstance(v, VReg):
+                root = resolve(v)
+                if root is not v:
+                    setattr(instr, field, root)
+                    rewrites += 1
+        if op in (Op.SW, Op.SB, Op.FSW, Op.BEQZ, Op.BNEZ):
+            if isinstance(instr.a, VReg):
+                instr.a = resolve(instr.a)
+            continue
+        if op in (Op.JMP, Op.RET, Op.HALT, Op.NOP):
+            continue
+        dst = instr.a
+        # Fold register forms to immediate forms, and immediates to LI.
+        if op in _FOLDABLE and isinstance(instr.c, VReg) and instr.c in consts:
+            imm_op, fn = _FOLDABLE[op]
+            instr.op = imm_op
+            instr.c = consts[instr.c]
+            op = imm_op
+            rewrites += 1
+        if op in _IMM_FOLD and isinstance(instr.b, VReg) and instr.b in consts:
+            value = wrap32(_IMM_FOLD[op](consts[instr.b], instr.c))
+            instr.op = Op.LI
+            instr.a, instr.b, instr.c = dst, value, None
+            op = Op.LI
+            rewrites += 1
+        if isinstance(dst, VReg):
+            kill(dst)
+            if op is Op.LI:
+                consts[dst] = instr.b
+            elif op is Op.MOV and isinstance(instr.b, VReg):
+                src = instr.b
+                if src in consts:
+                    instr.op = Op.LI
+                    instr.b = consts[src]
+                    consts[dst] = instr.b
+                    rewrites += 1
+                else:
+                    copies[dst] = src
+    return rewrites
+
+
+def eliminate_dead_code(ir, fg) -> int:
+    """Remove pure instructions whose destination is never used (backward
+    block-local pass using live-out information).  Returns removals."""
+    instrs = ir.instrs
+    removed = 0
+    dead_indices = set()
+    for block in fg.blocks:
+        live = set(block.live_out)
+        for i in range(block.end - 1, block.start - 1, -1):
+            instr = instrs[i]
+            defs, uses = instr.defs_uses()
+            if _is_pure(instr) and defs and all(d not in live for d in defs):
+                dead_indices.add(i)
+                removed += 1
+                continue
+            live -= set(defs)
+            live |= set(uses)
+    if dead_indices:
+        ir.instrs = [
+            instr for i, instr in enumerate(instrs) if i not in dead_indices
+        ]
+    return removed
+
+
+def optimize(ir, fg_builder, liveness_fn, rounds: int = 3, cost=None) -> None:
+    """Run propagation + DCE to a (bounded) fixpoint.  ``fg_builder`` and
+    ``liveness_fn`` are injected to avoid circular imports."""
+    from repro.runtime.costmodel import Phase
+
+    for _ in range(rounds):
+        if cost is not None:
+            cost.charge(Phase.IR, "optimize", len(ir.instrs))
+        fg = fg_builder(ir, None)
+        work = 0
+        for block in fg.blocks:
+            work += propagate_block(ir, block.start, block.end)
+        fg = fg_builder(ir, None)
+        liveness_fn(fg, None)
+        work += eliminate_dead_code(ir, fg)
+        if work == 0:
+            return

@@ -1,0 +1,71 @@
+"""Peephole optimization over generated target code.
+
+tcc's ICODE emitter performs "some peephole optimizations and strength
+reduction" while translating IR to binary; the gcc-level static back end
+uses the same pass.  Works on a body of target instructions with *relative*
+labels (pre-install), remapping label addresses as instructions disappear.
+
+Rules:
+
+* ``mov r, r`` / ``fmov f, f`` — removed,
+* ``jmp L`` where L is the next instruction — removed,
+* instructions directly following an unconditional jump that no label
+  targets — removed (straight-line unreachable code).
+"""
+
+from __future__ import annotations
+
+from repro.target.isa import Instruction, Op
+
+
+def peephole(body, labels, epilogue_label):
+    """Return a new instruction list; label addresses are remapped in
+    place.  ``epilogue_label`` is the (unplaced) label jumps to the function
+    exit use; it is left symbolic."""
+    changed = True
+    all_labels = [l for l in labels if l.address is not None]
+    while changed:
+        changed = False
+        targets = {l.address for l in all_labels}
+        keep = [True] * len(body)
+        for i, instr in enumerate(body):
+            if instr.op is Op.MOV and instr.a == instr.b:
+                keep[i] = False
+            elif instr.op is Op.FMOV and instr.a == instr.b:
+                keep[i] = False
+            elif instr.op is Op.JMP and isinstance(instr.a, object):
+                target = instr.a
+                if hasattr(target, "address") and target.address == i + 1:
+                    keep[i] = False
+            elif (
+                i > 0
+                and body[i - 1].op is Op.JMP
+                and keep[i - 1]
+                and i not in targets
+            ):
+                keep[i] = False
+        if not all(keep):
+            changed = True
+            new_index = []
+            pos = 0
+            for flag in keep:
+                new_index.append(pos)
+                if flag:
+                    pos += 1
+            # Labels bind to the next surviving instruction.
+            for label in all_labels:
+                old = label.address
+                if old >= len(body):
+                    label.address = pos
+                else:
+                    label.address = new_index[old] if keep[old] else (
+                        new_index[old + 1] if old + 1 < len(body) else pos
+                    )
+                    if not keep[old]:
+                        # the next surviving instruction at or after old
+                        j = old
+                        while j < len(body) and not keep[j]:
+                            j += 1
+                        label.address = new_index[j] if j < len(body) else pos
+            body = [instr for instr, flag in zip(body, keep) if flag]
+    return body

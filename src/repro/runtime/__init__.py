@@ -1,0 +1,23 @@
+"""Run-time support for dynamic code generation.
+
+* :mod:`repro.runtime.arena` — arena allocation (tcc allocates closures and
+  code generator metadata from arenas; "allocation cost is reduced down to a
+  pointer increment").
+* :mod:`repro.runtime.closures` — closure records capturing a tick
+  expression's environment.
+* :mod:`repro.runtime.costmodel` — the codegen cycle accounting used to
+  reproduce Table 1 and Figures 5-7.
+"""
+
+from repro.runtime.arena import Arena
+from repro.runtime.closures import Closure, CaptureKind
+from repro.runtime.costmodel import CostModel, CodegenStats, Phase
+
+__all__ = [
+    "Arena",
+    "Closure",
+    "CaptureKind",
+    "CostModel",
+    "CodegenStats",
+    "Phase",
+]

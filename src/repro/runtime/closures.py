@@ -1,0 +1,99 @@
+"""Closures: the specification-time representation of dynamic code.
+
+tcc section 4.2: for every tick expression the static compiler generates a
+code-generating function (CGF) plus code that, at *specification time*,
+allocates a closure capturing
+
+1. a pointer to the CGF,
+2. the values of run-time constants bound via ``$``,
+3. the addresses of free variables, and
+4. pointers to the closures of nested cspecs/vspecs.
+
+A cspec value *is* a pointer to such a closure.  In this reproduction the
+closure is a Python record whose slots are filled by the interpreter when
+control flow passes the tick expression; the capture *kinds* (and their
+modeled sizes, used by the cost model) mirror the paper exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CaptureKind(enum.Enum):
+    """What kind of environment reference a closure slot holds."""
+
+    RTCONST = "rtconst"  # $-bound value, captured by value at spec time
+    FREEVAR = "freevar"  # address of a free variable (read at run time)
+    CSPEC = "cspec"      # nested code specification (another Closure)
+    VSPEC = "vspec"      # nested variable specification
+
+    @property
+    def modeled_bytes(self) -> int:
+        """Bytes this slot would occupy in a real tcc closure."""
+        if self is CaptureKind.RTCONST:
+            return 8  # largest run-time constant (double / long)
+        return 4  # one pointer
+
+
+class Vspec:
+    """A dynamically created lvalue (tcc section 3).
+
+    Produced at specification time by the ``local(type)`` and
+    ``param(type, index)`` special forms, or implicitly for each local
+    variable declared inside a tick body.  Storage (a register or a spilled
+    location) is assigned per instantiation by the dynamic back end; the
+    vspec itself is storage-agnostic so one vspec can be referenced from
+    several composed cspecs.
+    """
+
+    __slots__ = ("kind", "ctype", "cls", "index", "name")
+
+    def __init__(self, kind: str, ctype, cls: str, index: int = -1,
+                 name: str = ""):
+        if kind not in ("local", "param"):
+            raise ValueError(f"bad vspec kind {kind!r}")
+        self.kind = kind
+        self.ctype = ctype   # evaluation CType
+        self.cls = cls       # register class: "i" or "f"
+        self.index = index   # parameter index for kind == "param"
+        self.name = name
+
+    def __repr__(self) -> str:
+        if self.kind == "param":
+            return f"<Vspec param {self.index}: {self.ctype}>"
+        return f"<Vspec local {self.name or ''}: {self.ctype}>"
+
+
+class Closure:
+    """A filled-in environment record for one tick expression.
+
+    ``cgf`` is the code-generating function object (see
+    :mod:`repro.core.cgf`); ``slots`` maps capture names to values whose
+    interpretation depends on the matching :class:`CaptureKind` in
+    ``kinds``:
+
+    * RTCONST — the Python/host value of the ``$`` expression,
+    * FREEVAR — an int address in target memory,
+    * CSPEC/VSPEC — the nested :class:`Closure` or vspec object.
+    """
+
+    __slots__ = ("cgf", "slots", "kinds", "label")
+
+    def __init__(self, cgf, slots=None, kinds=None, label: str = ""):
+        self.cgf = cgf
+        self.slots: dict = slots if slots is not None else {}
+        self.kinds: dict = kinds if kinds is not None else {}
+        self.label = label
+
+    def capture(self, name: str, kind: CaptureKind, value) -> None:
+        self.slots[name] = value
+        self.kinds[name] = kind
+
+    def modeled_size(self) -> int:
+        """The size in bytes of the equivalent tcc closure struct."""
+        return 4 + sum(k.modeled_bytes for k in self.kinds.values())
+
+    def __repr__(self) -> str:
+        what = self.label or getattr(self.cgf, "label", "?")
+        return f"<Closure {what}: {len(self.slots)} captures>"

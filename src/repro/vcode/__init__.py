@@ -1,0 +1,12 @@
+"""VCODE: the one-pass dynamic back end (tcc section 5.1).
+
+VCODE emits target instructions directly, with no intermediate
+representation.  Register allocation is getreg/putreg from a fixed pool;
+when the pool is exhausted, getreg returns a *spilled location* and every
+macro that touches it emits the necessary loads and stores (the paper's
+"negative register names" recognized as stack offsets).
+"""
+
+from repro.vcode.machine import VcodeBackend
+
+__all__ = ["VcodeBackend"]

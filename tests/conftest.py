@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TccCompiler
+
+
+@pytest.fixture(scope="session")
+def tcc():
+    return TccCompiler()
+
+
+def compile_c(source: str, **start_options):
+    """Compile `C source and start a process (fresh machine)."""
+    return TccCompiler().compile(source).start(**start_options)
+
+
+def run_static(source: str, fn_name: str, *args, opt: str = "lcc"):
+    """Compile a pure-C function and call it on the target machine."""
+    proc = compile_c(source, static_opt=opt)
+    return proc.static_function(fn_name)(*args)
+
+
+def run_dynamic(source: str, builder: str, builder_args=(), call_args=(),
+                backend: str = "icode", signature: str | None = None,
+                returns: str = "i", **options):
+    """Run a spec-time builder, then invoke the generated function."""
+    proc = compile_c(source, backend=backend, **options)
+    entry = proc.run(builder, *builder_args)
+    if signature is None:
+        signature = "i" * len(call_args)
+    fn = proc.function(entry, signature, returns)
+    return fn(*call_args)
+
+
+BACKENDS = ("vcode", "icode")

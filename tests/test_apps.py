@@ -1,0 +1,130 @@
+"""Benchmark-application correctness: every app, both back ends, both
+static levels, plus the qualitative shapes the paper reports."""
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.apps.harness import measure
+
+# Cache measurements per configuration: the suite asserts many properties
+# of the same runs.
+_RESULTS = {}
+
+
+def result(name, backend="icode", **kw):
+    key = (name, backend, tuple(sorted(kw.items())))
+    if key not in _RESULTS:
+        _RESULTS[key] = measure(ALL_APPS[name], backend=backend, **kw)
+    return _RESULTS[key]
+
+
+@pytest.mark.parametrize("name", sorted(ALL_APPS))
+@pytest.mark.parametrize("backend", ["vcode", "icode"])
+class TestCorrectness:
+    def test_dynamic_and_static_agree_with_oracle(self, name, backend):
+        r = result(name, backend)
+        assert r.correct, (
+            f"{name}/{backend}: dynamic={r.dynamic_result!r} "
+            f"static={r.static_result!r} expected={r.expected!r}"
+        )
+
+    def test_codegen_stats_populated(self, name, backend):
+        r = result(name, backend)
+        assert r.generated_instructions > 0
+        assert r.codegen_cycles > 0
+        assert r.dynamic_cycles > 0
+        assert r.static_cycles > 0
+
+
+class TestPaperShapes:
+    """Qualitative claims from section 6.3, asserted as inequalities."""
+
+    def test_most_benchmarks_speed_up(self):
+        wins = [n for n in ALL_APPS if result(n).speedup > 1.0]
+        assert len(wins) >= 10
+
+    def test_dp_speedup_is_large(self):
+        # "the dynamically constructed code is an order of magnitude more
+        # efficient" class of results
+        assert result("dp").speedup > 5.0
+
+    def test_ms_speedup_matches_paper_band(self):
+        # paper: six-fold with ICODE
+        assert 3.0 < result("ms").speedup < 9.0
+
+    def test_umshl_does_not_pay_off(self):
+        # the hand-tuned static special case wins (ratio <= ~1)
+        assert result("umshl").speedup <= 1.05
+
+    def test_umshl_crossover_never_or_huge(self):
+        r = result("umshl")
+        assert r.crossover is None or r.crossover > 1000
+
+    def test_icode_code_at_least_as_good_as_vcode(self):
+        for name in ("ms", "heap", "query", "dp"):
+            assert result(name, "icode").dynamic_cycles <= \
+                result(name, "vcode").dynamic_cycles
+
+    def test_heap_vcode_suffers_under_register_pressure(self):
+        # many live vspecs: VCODE's one-pass allocation spills heavily
+        assert result("heap", "vcode").dynamic_cycles > \
+            1.5 * result("heap", "icode").dynamic_cycles
+
+    def test_vcode_codegen_much_faster_than_icode(self):
+        for name in ("ms", "heap", "query", "binary"):
+            v = result(name, "vcode").codegen_cycles
+            i = result(name, "icode").codegen_cycles
+            assert i > 2.5 * v, name
+
+    def test_vcode_band_100_500_cycles(self):
+        for name in ALL_APPS:
+            cpi = result(name, "vcode").cycles_per_instruction
+            assert 50 < cpi < 500, (name, cpi)
+
+    def test_icode_band_up_to_2500_cycles(self):
+        for name in ALL_APPS:
+            cpi = result(name, "icode").cycles_per_instruction
+            assert 150 < cpi < 2500, (name, cpi)
+
+    def test_icode_cost_dominated_by_allocation(self):
+        # paper: 70-80% of ICODE codegen cost is regalloc + liveness work
+        for name in ("ms", "heap", "blur"):
+            pb = result(name, "icode").phase_breakdown
+            ra = pb.get("regalloc", 0) + pb.get("liveness", 0) + \
+                pb.get("intervals", 0)
+            assert ra / result(name, "icode").cycles_per_instruction > 0.55
+
+    def test_quick_crossovers_for_loopy_benchmarks(self):
+        # paper: ms (ICODE), cmp and query pay off after "only one run";
+        # we allow a handful since the codegen calibration is coarse
+        for name in ("ms", "cmp", "query"):
+            assert result(name).crossover <= 4, name
+
+    def test_crossover_definition(self):
+        r = result("dp")
+        if r.crossover is not None:
+            gain = r.static_cycles - r.dynamic_cycles
+            assert (r.crossover - 1) * gain < r.codegen_cycles
+            assert r.crossover * gain >= r.codegen_cycles
+
+    def test_blur_beats_lcc_static(self):
+        # paper: tcc's blur runs ~1.8x faster than the lcc-compiled one
+        assert result("blur").speedup > 1.3
+
+    def test_blur_codegen_tiny_fraction_of_run(self):
+        # paper: 0.01 s codegen vs ~1 s run
+        r = result("blur")
+        assert r.codegen_cycles < r.dynamic_cycles
+
+
+class TestRegallocChoice:
+    def test_linear_scan_and_coloring_agree_on_results(self):
+        a = measure(ALL_APPS["query"], backend="icode", regalloc="linear")
+        b = measure(ALL_APPS["query"], backend="icode", regalloc="color")
+        assert a.correct and b.correct
+        assert a.dynamic_result == b.dynamic_result
+
+    def test_coloring_measured_separately(self):
+        a = measure(ALL_APPS["dp"], backend="icode", regalloc="linear")
+        b = measure(ALL_APPS["dp"], backend="icode", regalloc="color")
+        assert a.codegen_cycles != b.codegen_cycles

@@ -1,0 +1,483 @@
+"""End-to-end `C dynamic code generation tests, run on both back ends."""
+
+import pytest
+
+from repro.errors import RuntimeTccError
+from tests.conftest import BACKENDS, compile_c
+
+
+def build_and_call(source, builder_args=(), call_args=(), backend="icode",
+                   signature=None, returns="i", builder="build", **options):
+    proc = compile_c(source, backend=backend, **options)
+    entry = proc.run(builder, *builder_args)
+    if signature is None:
+        signature = "i" * len(call_args)
+    fn = proc.function(entry, signature, returns)
+    return fn(*call_args)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBasics:
+    def test_constant_cspec(self, backend):
+        src = "int build(void) { return (int)compile(`42, int); }"
+        assert build_and_call(src, backend=backend) == 42
+
+    def test_expression_cspec(self, backend):
+        src = "int build(void) { return (int)compile(`(6 * 7), int); }"
+        assert build_and_call(src, backend=backend) == 42
+
+    def test_compound_cspec_with_return(self, backend):
+        src = """
+        int build(void) {
+            void cspec c = `{ int x; x = 40; return x + 2; };
+            return (int)compile(c, int);
+        }
+        """
+        assert build_and_call(src, backend=backend) == 42
+
+    def test_dollar_binding_snapshot(self, backend):
+        # the paper's own example: $x binds at spec time, x reads at run time
+        src = """
+        int x;
+        int build(void) {
+            int cspec c;
+            x = 1;
+            c = `($x * 100 + x);
+            x = 14;
+            return (int)compile(c, int);
+        }
+        """
+        assert build_and_call(src, backend=backend) == 100 + 14
+
+    def test_parameterized_function(self, backend):
+        src = """
+        int build(void) {
+            int vspec a = param(int, 0);
+            int vspec b = param(int, 1);
+            return (int)compile(`(a * 10 + b), int);
+        }
+        """
+        assert build_and_call(src, call_args=(4, 2), backend=backend) == 42
+
+    def test_free_variable_read_and_write(self, backend):
+        src = """
+        int build(int *out) {
+            int x;
+            void cspec c;
+            x = 5;
+            c = `{ x = x + 1; return x; };
+            return (int)compile(c, int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        entry = proc.run("build", 0)
+        fn = proc.function(entry, "", "i")
+        assert fn() == 6
+        assert fn() == 7  # the free variable persists between runs
+
+    def test_double_return(self, backend):
+        src = """
+        int build(void) {
+            double vspec x = param(double, 0);
+            return (int)compile(`(x * 2.5), double);
+        }
+        """
+        assert build_and_call(src, call_args=(4.0,), backend=backend,
+                              signature="f", returns="f") == 10.0
+
+    def test_void_compile(self, backend):
+        src = """
+        int g;
+        int build(void) {
+            void cspec c = `{ g = 99; };
+            return (int)compile(c, void);
+        }
+        int readg(void) { return g; }
+        """
+        proc = compile_c(src, backend=backend)
+        entry = proc.run("build")
+        proc.function(entry, "", "v")()
+        assert proc.run("readg") == 99
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestComposition:
+    def test_simple_composition(self, backend):
+        # the paper's 4+5 example
+        src = """
+        int build(void) {
+            int cspec c1 = `4, cspec c2 = `5;
+            int cspec c = `(c1 + c2);
+            return (int)compile(c, int);
+        }
+        """
+        assert build_and_call(src, backend=backend) == 9
+
+    def test_composition_chain(self, backend):
+        src = """
+        int build(int n) {
+            int i;
+            int cspec c = `0;
+            for (i = 1; i <= n; i++)
+                c = `(c + $i);
+            return (int)compile(c, int);
+        }
+        """
+        assert build_and_call(src, (10,), backend=backend) == 55
+
+    def test_statement_composition(self, backend):
+        src = """
+        int build(void) {
+            int vspec s = local(int);
+            void cspec body = `{ s = 1; };
+            body = `{ body; s = s * 10; };
+            body = `{ body; s = s + 2; };
+            return (int)compile(`{ body; return s; }, int);
+        }
+        """
+        assert build_and_call(src, backend=backend) == 12
+
+    def test_vspec_shared_across_cspecs(self, backend):
+        src = """
+        int build(void) {
+            int vspec v = local(int);
+            void cspec set = `{ v = 21; };
+            int cspec dbl = `(v * 2);
+            return (int)compile(`{ set; return dbl; }, int);
+        }
+        """
+        assert build_and_call(src, backend=backend) == 42
+
+    def test_same_cspec_composed_twice_inlines_twice(self, backend):
+        src = """
+        int g;
+        int build(void) {
+            void cspec bump = `{ g = g + 1; };
+            return (int)compile(`{ bump; bump; return g; }, int);
+        }
+        """
+        assert build_and_call(src, backend=backend) == 2
+
+    def test_cspec_passed_through_function(self, backend):
+        src = """
+        int cspec wrap(int cspec inner) {
+            return `(inner * 2);
+        }
+        int build(void) {
+            int cspec c = wrap(`21);
+            return (int)compile(c, int);
+        }
+        """
+        assert build_and_call(src, backend=backend) == 42
+
+    def test_unspecified_cspec_fails_cleanly(self, backend):
+        src = """
+        int build(void) {
+            int cspec c;
+            int cspec d = `(c + 1);
+            return (int)compile(d, int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        with pytest.raises(RuntimeTccError, match="composed before"):
+            proc.run("build")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestPartialEvaluation:
+    def test_runtime_constant_folding(self, backend):
+        src = """
+        int build(int a, int b) {
+            return (int)compile(`($a * $b + 2), int);
+        }
+        """
+        assert build_and_call(src, (6, 7), backend=backend) == 44
+
+    def test_unrolled_loop(self, backend):
+        src = """
+        int build(int n) {
+            void cspec c = `{
+                int k, s;
+                s = 0;
+                for (k = 0; k < $n; k++)
+                    s = s + k;
+                return s;
+            };
+            return (int)compile(c, int);
+        }
+        """
+        assert build_and_call(src, (10,), backend=backend) == 45
+
+    def test_unrolled_loop_body_has_no_branches(self, backend):
+        src = """
+        int build(int n) {
+            void cspec c = `{
+                int k, s;
+                s = 0;
+                for (k = 0; k < $n; k++)
+                    s = s + k;
+                return s;
+            };
+            return (int)compile(c, int);
+        }
+        """
+        proc = compile_c(src, backend=backend, compile_static=False)
+        proc.run("build", 8)
+        from repro.target.isa import Op
+
+        ops = [i.op for i in proc.machine.code.instructions]
+        assert Op.BEQZ not in ops and Op.BNEZ not in ops
+
+    def test_emission_time_dead_code(self, backend):
+        src = """
+        int row[4] = {1, 0, 3, 0};
+        int build(int n) {
+            void cspec c = `{
+                int k, s;
+                s = 0;
+                for (k = 0; k < $n; k++)
+                    if ($row[k])
+                        s = s + $row[k];
+                return s;
+            };
+            return (int)compile(c, int);
+        }
+        """
+        assert build_and_call(src, (4,), backend=backend) == 4
+
+    def test_strength_reduced_multiply(self, backend):
+        src = """
+        int build(int c) {
+            int vspec x = param(int, 0);
+            return (int)compile(`(x * $c), int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        entry = proc.run("build", 12)  # 12 = 8 + 4: two shifts + add
+        fn = proc.function(entry, "i", "i")
+        assert fn(5) == 60
+        from repro.target.isa import Op
+
+        ops = [i.op for i in proc.machine.code.instructions[entry:]]
+        assert Op.MULI not in ops and Op.MUL not in ops
+
+    def test_multiply_by_zero_folds_away(self, backend):
+        src = """
+        int build(int c) {
+            int vspec x = param(int, 0);
+            return (int)compile(`(x * $c + 7), int);
+        }
+        """
+        assert build_and_call(src, (0,), call_args=(123,),
+                              backend=backend) == 7
+
+    def test_division_by_power_of_two(self, backend):
+        src = """
+        int build(int c) {
+            unsigned vspec x = param(unsigned, 0);
+            return (int)compile(`((int)(x / (unsigned)$c)), int);
+        }
+        """
+        assert build_and_call(src, (8,), call_args=(100,),
+                              backend=backend) == 12
+
+    def test_signed_division_by_power_of_two(self, backend):
+        src = """
+        int build(int c) {
+            int vspec x = param(int, 0);
+            return (int)compile(`(x / $c), int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        fn = proc.function(proc.run("build", 4), "i", "i")
+        assert fn(100) == 25
+        assert fn(-100) == -25  # C semantics: truncation toward zero
+
+    def test_nested_unroll_with_derived_bound(self, backend):
+        src = """
+        int build(int n) {
+            void cspec c = `{
+                int i, j, s;
+                s = 0;
+                for (i = 0; i < $n; i++)
+                    for (j = 0; j <= i; j++)
+                        s = s + 1;
+                return s;
+            };
+            return (int)compile(c, int);
+        }
+        """
+        assert build_and_call(src, (5,), backend=backend) == 15
+
+    def test_emission_dollar_reads_memory_at_instantiation(self, backend):
+        src = """
+        int data[3] = {10, 20, 30};
+        int build(int n) {
+            void cspec c = `{
+                int k, s;
+                s = 0;
+                for (k = 0; k < $n; k++)
+                    s = s + $data[k];
+                return s;
+            };
+            return (int)compile(c, int);
+        }
+        """
+        assert build_and_call(src, (3,), backend=backend) == 60
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDynamicControlFlow:
+    def test_dynamic_while_loop(self, backend):
+        src = """
+        int build(void) {
+            int vspec n = param(int, 0);
+            void cspec c = `{
+                int s;
+                s = 0;
+                while (n > 0) { s = s + n; n = n - 1; }
+                return s;
+            };
+            return (int)compile(c, int);
+        }
+        """
+        assert build_and_call(src, call_args=(10,), backend=backend) == 55
+
+    def test_dynamic_break_continue(self, backend):
+        src = """
+        int build(void) {
+            int vspec n = param(int, 0);
+            void cspec c = `{
+                int i, s;
+                s = 0;
+                for (i = 0; i < n; i++) {
+                    if (i == 3) continue;
+                    if (i == 8) break;
+                    s = s + i;
+                }
+                return s;
+            };
+            return (int)compile(c, int);
+        }
+        """
+        expected = sum(i for i in range(8) if i != 3)
+        assert build_and_call(src, call_args=(100,), backend=backend) == expected
+
+    def test_dynamic_code_calls_static_function(self, backend):
+        src = """
+        int helper(int x) { return x * 3; }
+        int build(void) {
+            int vspec a = param(int, 0);
+            return (int)compile(`(helper(a) + 1), int);
+        }
+        """
+        assert build_and_call(src, call_args=(5,), backend=backend) == 16
+
+    def test_dynamic_code_calls_through_pointer(self, backend):
+        src = """
+        int helper(int x) { return x - 1; }
+        int build(void) {
+            int (*fp)(int);
+            int vspec a = param(int, 0);
+            fp = helper;
+            return (int)compile(`(($fp)(a)), int);
+        }
+        """
+        assert build_and_call(src, call_args=(10,), backend=backend) == 9
+
+    def test_two_generated_functions_coexist(self, backend):
+        src = """
+        int build(int which) {
+            int vspec x = param(int, 0);
+            if (which)
+                return (int)compile(`(x + 1), int);
+            return (int)compile(`(x * 2), int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        inc = proc.function(proc.run("build", 1), "i", "i")
+        dbl = proc.function(proc.run("build", 0), "i", "i")
+        assert inc(10) == 11
+        assert dbl(10) == 20
+        assert inc(1) == 2  # first function still intact
+
+    def test_generated_function_calls_generated_function(self, backend):
+        src = """
+        int build_inner(void) {
+            int vspec x = param(int, 0);
+            return (int)compile(`(x * 2), int);
+        }
+        int build_outer(int inner) {
+            int vspec y = param(int, 0);
+            int (*fp)(int);
+            fp = (int (*)(int))inner;
+            return (int)compile(`(($fp)(y) + 1), int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        inner = proc.run("build_inner")
+        outer = proc.run("build_outer", inner)
+        fn = proc.function(outer, "i", "i")
+        assert fn(10) == 21
+
+    def test_push_apply_dynamic_call(self, backend):
+        src = """
+        int sum3(int a, int b, int c) { return a + b + c; }
+        int build(int n) {
+            int i;
+            int cspec call;
+            push_init();
+            for (i = 1; i <= n; i++)
+                push(`($i * 10));
+            call = apply(sum3);
+            return (int)compile(`{ return call; }, int);
+        }
+        """
+        assert build_and_call(src, (3,), backend=backend) == 60
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCodegenAccounting:
+    def test_stats_recorded_per_compile(self, backend):
+        src = "int build(void) { return (int)compile(`(1 + 2), int); }"
+        proc = compile_c(src, backend=backend)
+        proc.run("build")
+        stats = proc.last_codegen_stats
+        assert stats is not None
+        assert stats.generated_instructions > 0
+        assert stats.total_cycles() > 0
+
+    def test_icode_charges_regalloc(self, backend):
+        if backend != "icode":
+            pytest.skip("ICODE only")
+        from repro.runtime.costmodel import Phase
+
+        src = "int build(void) { return (int)compile(`(1 + 2), int); }"
+        proc = compile_c(src, backend=backend)
+        proc.run("build")
+        assert proc.last_codegen_stats.cycles[Phase.REGALLOC] > 0
+
+    def test_vcode_charges_emit_only(self, backend):
+        if backend != "vcode":
+            pytest.skip("VCODE only")
+        from repro.runtime.costmodel import Phase
+
+        src = "int build(void) { return (int)compile(`(1 + 2), int); }"
+        proc = compile_c(src, backend=backend)
+        proc.run("build")
+        stats = proc.last_codegen_stats
+        assert stats.cycles[Phase.EMIT] > 0
+        assert stats.cycles[Phase.REGALLOC] == 0
+
+    def test_closure_cost_charged_at_spec_time(self, backend):
+        from repro.runtime.costmodel import Phase
+
+        src = """
+        int build(int x) {
+            int cspec c = `($x + 1);
+            return (int)compile(c, int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        proc.run("build", 1)
+        assert proc.last_codegen_stats.cycles[Phase.CLOSURE] > 0

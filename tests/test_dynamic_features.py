@@ -1,0 +1,303 @@
+"""Tests for the extended `C features: dynamic labels/jumps, switch
+statements (spec-time, static, and dynamic), and specification arrays."""
+
+import pytest
+
+from repro.errors import RuntimeTccError, TypeError_
+from tests.conftest import BACKENDS, compile_c
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDynamicLabels:
+    def test_label_jump_loop(self, backend):
+        src = r"""
+        int build(void) {
+            int vspec n = param(int, 0);
+            int vspec s = local(int);
+            void cspec top = make_label();
+            void cspec again = jump(top);
+            void cspec body = `{
+                s = 0;
+                top;
+                s = s + n;
+                n = n - 1;
+                if (n > 0) again;
+                return s;
+            };
+            return (int)compile(body, int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        fn = proc.function(proc.run("build"), "i", "i")
+        assert fn(10) == 55
+        assert fn(1) == 1
+
+    def test_forward_jump_skips_code(self, backend):
+        src = r"""
+        int build(void) {
+            void cspec out = make_label();
+            void cspec skip = jump(out);
+            void cspec body = `{
+                int r;
+                r = 1;
+                skip;
+                r = 99;
+                out;
+                return r;
+            };
+            return (int)compile(body, int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        assert proc.function(proc.run("build"), "", "i")() == 1
+
+    def test_same_label_multiple_jumps(self, backend):
+        src = r"""
+        int build(void) {
+            int vspec x = param(int, 0);
+            void cspec out = make_label();
+            void cspec j1 = jump(out);
+            void cspec j2 = jump(out);
+            void cspec body = `{
+                if (x == 1) j1;
+                if (x == 2) j2;
+                return 0;
+                out;
+                return x * 10;
+            };
+            return (int)compile(body, int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        fn = proc.function(proc.run("build"), "i", "i")
+        assert fn(1) == 10
+        assert fn(2) == 20
+        assert fn(3) == 0
+
+    def test_labels_fresh_per_instantiation(self, backend):
+        # the same label cspec compiled twice must not collide
+        src = r"""
+        int build(void) {
+            void cspec top = make_label();
+            void cspec go = jump(top);
+            int vspec n = param(int, 0);
+            void cspec body = `{ top; n = n - 1; if (n) go; return 7; };
+            return (int)compile(body, int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        f1 = proc.function(proc.run("build"), "i", "i")
+        f2 = proc.function(proc.run("build"), "i", "i")
+        assert f1(3) == 7 and f2(5) == 7
+
+    def test_jump_requires_label(self, backend):
+        src = "void f(void) { void cspec c = `{ ; }; void cspec j = jump(c); }"
+        proc = compile_c(src, backend=backend)
+        with pytest.raises(RuntimeTccError, match="make_label"):
+            proc.run("f")
+
+
+class TestLabelTyping:
+    def test_label_in_dynamic_code_rejected(self):
+        with pytest.raises(TypeError_, match="make_label"):
+            compile_c("void f(void) { void cspec c = `{ make_label(); }; }")
+
+    def test_jump_requires_void_cspec(self):
+        with pytest.raises(TypeError_, match="label"):
+            compile_c("void f(int x) { void cspec j = jump(x); }")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDynamicSwitch:
+    def test_switch_in_generated_code(self, backend):
+        src = r"""
+        int build(void) {
+            int vspec x = param(int, 0);
+            void cspec c = `{
+                int r;
+                switch (x & 3) {
+                case 0: r = 100; break;
+                case 1: r = 200; break;
+                case 2: r = 300;      /* falls through */
+                default: r = r + 1;
+                }
+                return r;
+            };
+            return (int)compile(c, int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        fn = proc.function(proc.run("build"), "i", "i")
+        assert fn(4) == 100
+        assert fn(5) == 200
+        assert fn(6) == 301
+        # case 3 reads uninitialized r (C UB) — not asserted
+
+    def test_switch_break_does_not_capture_continue(self, backend):
+        src = r"""
+        int build(void) {
+            int vspec n = param(int, 0);
+            void cspec c = `{
+                int i, s;
+                s = 0;
+                for (i = 0; i < n; i++) {
+                    switch (i & 1) {
+                    case 0: continue;
+                    default: break;
+                    }
+                    s = s + i;
+                }
+                return s;
+            };
+            return (int)compile(c, int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        fn = proc.function(proc.run("build"), "i", "i")
+        assert fn(10) == sum(i for i in range(10) if i % 2 == 1)
+
+
+class TestStaticSwitch:
+    SRC = r"""
+    int classify(int x) {
+        switch (x) {
+        case 0: return 100;
+        case 1:
+        case 2: return 200;
+        default: return -1;
+        }
+    }
+    """
+
+    @pytest.mark.parametrize("opt", ["lcc", "gcc"])
+    def test_compiled_switch(self, opt):
+        proc = compile_c(self.SRC, static_opt=opt)
+        fn = proc.static_function("classify")
+        assert [fn(i) for i in range(4)] == [100, 200, 200, -1]
+
+    def test_interpreted_switch_matches(self):
+        proc = compile_c(self.SRC)
+        assert [proc.run("classify", i) for i in range(4)] == \
+            [100, 200, 200, -1]
+
+    def test_switch_without_default_falls_out(self):
+        src = """
+        int f(int x) {
+            int r;
+            r = 7;
+            switch (x) { case 1: r = 1; break; }
+            return r;
+        }
+        """
+        proc = compile_c(src)
+        assert proc.run("f", 1) == 1
+        assert proc.run("f", 2) == 7
+        assert proc.static_function("f")(2) == 7
+
+    def test_switch_requires_integer(self):
+        with pytest.raises(TypeError_, match="integer"):
+            compile_c("void f(double x) { switch (x) { default: ; } }")
+
+    def test_break_outside_breakable(self):
+        with pytest.raises(TypeError_, match="break"):
+            compile_c("void f(void) { break; }")
+
+    def test_continue_in_switch_outside_loop(self):
+        with pytest.raises(TypeError_, match="continue"):
+            compile_c(
+                "void f(int x) { switch (x) { default: continue; } }"
+            )
+
+
+class TestSpecArrays:
+    def test_cspec_array_composition(self):
+        src = r"""
+        int build(int n) {
+            int i;
+            int cspec terms[8];
+            int cspec acc;
+            for (i = 0; i < n; i++)
+                terms[i] = `($i * $i);
+            acc = `0;
+            for (i = 0; i < n; i++) {
+                int cspec t = terms[i];
+                acc = `(acc + t);
+            }
+            return (int)compile(`{ return acc; }, int);
+        }
+        """
+        proc = compile_c(src)
+        fn = proc.function(proc.run("build", 6), "", "i")
+        assert fn() == sum(i * i for i in range(6))
+
+    def test_vspec_array(self):
+        src = r"""
+        int build(void) {
+            int vspec regs[2];
+            void cspec body;
+            regs[0] = param(int, 0);
+            regs[1] = local(int);
+            {
+                int vspec a = regs[0];
+                int vspec t = regs[1];
+                body = `{ t = a * 2; return t + 1; };
+            }
+            return (int)compile(body, int);
+        }
+        """
+        proc = compile_c(src)
+        fn = proc.function(proc.run("build"), "i", "i")
+        assert fn(20) == 41
+
+    def test_global_cspec_array(self):
+        src = r"""
+        int cspec parts[4];
+        void fill(void) {
+            parts[0] = `1;
+            parts[1] = `2;
+        }
+        int build(void) {
+            int cspec a = parts[0];
+            int cspec b = parts[1];
+            fill();
+            a = parts[0];
+            b = parts[1];
+            return (int)compile(`(a + b), int);
+        }
+        """
+        proc = compile_c(src)
+        assert proc.function(proc.run("build"), "", "i")() == 3
+
+    def test_out_of_range_index(self):
+        src = r"""
+        void f(void) {
+            int cspec a[2];
+            a[5] = `1;
+        }
+        """
+        proc = compile_c(src)
+        with pytest.raises(RuntimeTccError, match="out of range"):
+            proc.run("f")
+
+    def test_spec_array_not_usable_in_tick(self):
+        with pytest.raises(TypeError_, match="specification time"):
+            compile_c(
+                "void f(void) { int cspec a[2]; "
+                "void cspec c = `{ a[0]; }; }"
+            )
+
+    def test_address_of_spec_array_rejected(self):
+        with pytest.raises(TypeError_, match="address"):
+            compile_c(
+                "void f(void) { int cspec a[2]; int *p; p = (int *)&a; }"
+            )
+
+    def test_spec_array_makes_function_uncompilable(self):
+        src = """
+        int uses_spec_array(void) { int cspec a[2]; return 0; }
+        int pure(void) { return 1; }
+        """
+        proc = compile_c(src)
+        names = proc.compilable_functions()
+        assert "pure" in names
+        assert "uses_spec_array" not in names

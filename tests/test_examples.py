@@ -1,0 +1,69 @@
+"""The example scripts run end to end and print what they promise."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "hello, dynamic world!" in out
+    assert "add10(32) = 42" in out
+    assert "poly(7)   = 70" in out
+
+
+def test_query_compiler():
+    out = run_example("query_compiler.py")
+    assert "matches:" in out
+    assert "pays for itself" in out
+
+
+def test_rpc_marshaling():
+    out = run_example("rpc_marshaling.py")
+    assert "message buffer: [7, 3, 9, 1]" in out
+    assert "= 1937" in out
+
+
+def test_vector_pipeline():
+    out = run_example("vector_pipeline.py")
+    assert "fused pipeline checksum" in out
+
+
+def test_bytecode_jit():
+    out = run_example("bytecode_jit.py")
+    assert "sum 1..100 = 5050" in out
+    assert "x slower" in out
+
+
+def test_currying():
+    out = run_example("currying.py")
+    assert "get_a(3)  = 30" in out
+    assert "fully inlined closure" in out
+
+
+@pytest.mark.slow
+def test_image_blur():
+    out = run_example("image_blur.py")
+    assert "`C dynamic (ICODE)" in out
+    assert "static, lcc level" in out

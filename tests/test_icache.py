@@ -1,0 +1,83 @@
+"""Instruction-cache model tests."""
+
+import pytest
+
+from repro.target.cpu import ICache, Machine
+from repro.target.isa import CYCLE_COST, Instruction, Op, Reg
+from repro.target.program import Label
+
+
+def straightline_machine(n_instrs: int, icache):
+    machine = Machine(icache=icache)
+    body = [Instruction(Op.ADDI, Reg.RV, Reg.RV, 1) for _ in range(n_instrs)]
+    body.append(Instruction(Op.RET))
+    entry = machine.code.extend(body)
+    machine.code.link()
+    return machine, entry
+
+
+class TestICacheModel:
+    def test_configuration_validation(self):
+        with pytest.raises(ValueError):
+            ICache(line_bytes=6)
+        with pytest.raises(ValueError):
+            ICache(line_bytes=24)  # 6 instructions: not a power of two
+
+    def test_cold_misses_counted(self):
+        cache = ICache(size_bytes=1024, line_bytes=32)
+        machine, entry = straightline_machine(64, cache)
+        machine.call(entry)
+        # 65 instructions + halt across 8-instruction lines
+        assert cache.misses >= 64 // 8
+        assert cache.accesses >= 64
+
+    def test_warm_run_hits(self):
+        cache = ICache()
+        machine, entry = straightline_machine(64, cache)
+        machine.call(entry)
+        cold = cache.misses
+        machine.call(entry)
+        assert cache.misses == cold  # everything resident
+
+    def test_capacity_misses_when_code_exceeds_cache(self):
+        cache = ICache(size_bytes=256, line_bytes=32)  # 8 lines
+        machine, entry = straightline_machine(256, cache)
+        machine.call(entry)
+        cold = cache.misses
+        machine.call(entry)
+        assert cache.misses > cold  # the stream evicts itself
+
+    def test_miss_penalty_charged(self):
+        ideal_machine, entry = straightline_machine(64, None)
+        ideal_machine.call(entry)
+        ideal = ideal_machine.cpu.cycles
+
+        cache = ICache(miss_penalty=10)
+        cached_machine, entry2 = straightline_machine(64, cache)
+        cached_machine.call(entry2)
+        assert cached_machine.cpu.cycles == ideal + 10 * cache.misses
+
+    def test_flush(self):
+        cache = ICache()
+        machine, entry = straightline_machine(32, cache)
+        machine.call(entry)
+        cold = cache.misses
+        cache.flush()
+        machine.call(entry)
+        assert cache.misses >= 2 * cold
+
+    def test_loop_stays_resident(self):
+        cache = ICache(size_bytes=1024)
+        machine = Machine(icache=cache)
+        top = Label()
+        machine.code.emit(Instruction(Op.LI, Reg.T0, 1000))
+        top.address = machine.code.here
+        entry = 1
+        machine.code.extend([
+            Instruction(Op.SUBI, Reg.T0, Reg.T0, 1),
+            Instruction(Op.BNEZ, Reg.T0, top),
+            Instruction(Op.RET),
+        ])
+        machine.code.link()
+        machine.call(entry)
+        assert cache.misses <= 4  # the whole loop is one or two lines

@@ -1,0 +1,109 @@
+"""Function-installation tests: prologue/epilogue, frame layout, linking."""
+
+from repro.core.install import (
+    FREG_SAVE_BASE,
+    SPILL_BASE,
+    build_prologue_epilogue,
+    frame_size,
+    install_function,
+    spill_offset,
+)
+from repro.runtime.costmodel import CostModel
+from repro.target.cpu import Machine
+from repro.target.isa import Instruction, Op, Reg
+from repro.target.program import Label
+
+
+class TestFrameLayout:
+    def test_spill_offsets_fixed_and_disjoint(self):
+        offsets = [spill_offset(i) for i in range(4)]
+        assert offsets[0] == SPILL_BASE
+        assert all(b - a == 8 for a, b in zip(offsets, offsets[1:]))
+        assert SPILL_BASE >= FREG_SAVE_BASE + 10 * 8
+
+    def test_frame_size_aligned(self):
+        for n in range(6):
+            assert frame_size(n) % 16 == 0
+            assert frame_size(n) >= SPILL_BASE + 8 * n
+
+    def test_prologue_saves_only_used_registers(self):
+        prologue, epilogue = build_prologue_epilogue(
+            {Reg.S0, Reg.S3}, set(), has_call=False, n_spill_slots=0
+        )
+        stores = [i for i in prologue if i.op is Op.SW]
+        assert len(stores) == 2
+        loads = [i for i in epilogue if i.op is Op.LW]
+        assert len(loads) == 2
+        # no RA save without calls
+        assert all(i.a != Reg.RA for i in stores)
+
+    def test_prologue_saves_ra_when_calling(self):
+        prologue, epilogue = build_prologue_epilogue(
+            set(), set(), has_call=True, n_spill_slots=0
+        )
+        assert any(i.op is Op.SW and i.a == Reg.RA for i in prologue)
+        assert any(i.op is Op.LW and i.a == Reg.RA for i in epilogue)
+
+    def test_float_registers_saved(self):
+        from repro.target.isa import ALLOCATABLE_FREGS
+
+        f = ALLOCATABLE_FREGS[0]
+        prologue, _ = build_prologue_epilogue(
+            set(), {f}, has_call=False, n_spill_slots=0
+        )
+        assert any(i.op is Op.FSW for i in prologue)
+
+    def test_epilogue_ends_with_ret(self):
+        _, epilogue = build_prologue_epilogue(set(), set(), False, 0)
+        assert epilogue[-1].op is Op.RET
+
+
+class TestInstall:
+    def test_labels_shifted_by_prologue(self):
+        machine = Machine()
+        cost = CostModel()
+        target = Label()
+        target.address = 1  # relative: points at the second body instr
+        body = [
+            Instruction(Op.JMP, target),
+            Instruction(Op.LI, Reg.RV, 7),
+        ]
+        epilogue_label = Label("ep")
+        entry = install_function(
+            machine, cost, body, [target], epilogue_label,
+            {Reg.S0}, set(), False, 0, name="t",
+        )
+        # the JMP operand was linked to an absolute address inside the body
+        jmp = next(i for i in machine.code.instructions[entry:]
+                   if i.op is Op.JMP)
+        assert isinstance(jmp.a, int)
+        assert machine.code.instructions[jmp.a].op is Op.LI
+        assert machine.call(entry) == 7
+
+    def test_symbol_registered(self):
+        machine = Machine()
+        epilogue_label = Label("ep")
+        entry = install_function(
+            machine, None, [Instruction(Op.LI, Reg.RV, 1)], [],
+            epilogue_label, set(), set(), False, 0, name="one",
+        )
+        assert machine.code.lookup("one") == entry
+
+    def test_deferred_link(self):
+        from repro.core.operands import FuncRef
+
+        machine = Machine()
+        ep1, ep2 = Label("e1"), Label("e2")
+        # f calls g, which is installed later: only possible with do_link=False
+        f_entry = install_function(
+            machine, None,
+            [Instruction(Op.CALL, FuncRef("g")),
+             Instruction(Op.ADDI, Reg.RV, Reg.RV, 1)],
+            [], ep1, set(), set(), True, 0, name="f", do_link=False,
+        )
+        install_function(
+            machine, None, [Instruction(Op.LI, Reg.RV, 41)],
+            [], ep2, set(), set(), False, 0, name="g", do_link=False,
+        )
+        machine.code.link()
+        assert machine.call(f_entry) == 42

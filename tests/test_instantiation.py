@@ -1,0 +1,177 @@
+"""Instantiation-time semantics: repeated compiles, storage isolation,
+composition edge cases, cost-model attribution."""
+
+import pytest
+
+from repro.runtime.costmodel import Phase
+from tests.conftest import BACKENDS, compile_c
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRepeatedInstantiation:
+    def test_same_cspec_compiles_twice(self, backend):
+        src = """
+        int cspec saved;
+        void make(int x) { saved = `($x * 2); }
+        int build(int x) { make(x); return (int)compile(saved, int); }
+        """
+        proc = compile_c(src, backend=backend)
+        f1 = proc.function(proc.run("build", 5), "", "i")
+        f2 = proc.function(proc.run("build", 9), "", "i")
+        assert f1() == 10 and f2() == 18
+        assert f1() == 10  # f1 unchanged by the second instantiation
+
+    def test_one_closure_many_instantiations(self, backend):
+        # the *same* closure (not re-specified) compiled twice: fresh
+        # storage is allocated each time, so both copies work
+        src = """
+        int cspec saved;
+        void make(void) {
+            int vspec v = local(int);
+            saved = `(v = 3, v * v);
+        }
+        int build_twice(int *out) {
+            int a, b;
+            make();
+            a = (int)compile(saved, int);
+            b = (int)compile(saved, int);
+            out[0] = a;
+            out[1] = b;
+            return 0;
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        out = proc.machine.memory.alloc_words([0, 0])
+        proc.run("build_twice", out)
+        a, b = proc.machine.memory.read_words(out, 2)
+        assert a != b  # two distinct function bodies
+        assert proc.function(a, "", "i")() == 9
+        assert proc.function(b, "", "i")() == 9
+
+    def test_vspec_storage_not_shared_across_compiles(self, backend):
+        # a vspec used by two separately compiled functions gets storage
+        # per instantiation (compile resets dynamic-local information)
+        src = """
+        int vspec shared;
+        int build_set(void) {
+            shared = local(int);
+            return (int)compile(`{ shared = 42; return shared; }, int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        f1 = proc.function(proc.run("build_set"), "", "i")
+        f2 = proc.function(proc.run("build_set"), "", "i")
+        assert f1() == 42 and f2() == 42
+
+    def test_instantiation_isolated_register_state(self, backend):
+        # generating one function must not corrupt a previously generated
+        # one even under register pressure
+        src = """
+        int build(int seed) {
+            int vspec x = param(int, 0);
+            int cspec c = `0;
+            int i;
+            for (i = 0; i < 20; i++)
+                c = `(c + x * $i + $seed);
+            return (int)compile(`{ return c; }, int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        f1 = proc.function(proc.run("build", 1), "i", "i")
+        expected1 = sum(2 * i + 1 for i in range(20))
+        assert f1(2) == expected1
+        f2 = proc.function(proc.run("build", 100), "i", "i")
+        assert f1(2) == expected1  # still intact
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCompositionEdgeCases:
+    def test_deep_composition_chain(self, backend):
+        src = """
+        int build(int n) {
+            int i;
+            int cspec c = `1;
+            for (i = 0; i < n; i++)
+                c = `(c + c);
+            return (int)compile(c, int);
+        }
+        """
+        # c + c doubles the *code* each level: 2^n additions of 1
+        proc = compile_c(src, backend=backend)
+        fn = proc.function(proc.run("build", 6), "", "i")
+        assert fn() == 2 ** 6
+
+    def test_void_cspec_in_expression_rejected(self, backend):
+        from repro.errors import TypeError_
+
+        with pytest.raises(TypeError_):
+            compile_c(
+                "void f(void) { void cspec v = `{ ; };"
+                " int cspec c = `(v + 1); }",
+                backend=backend,
+            )
+
+    def test_float_cspec_composition(self, backend):
+        src = """
+        int build(void) {
+            double cspec half = `0.5;
+            double vspec x = param(double, 0);
+            return (int)compile(`(x * half + half), double);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        fn = proc.function(proc.run("build"), "f", "f")
+        assert fn(3.0) == 2.0
+
+    def test_pointer_cspec_composition(self, backend):
+        src = """
+        int build(int *data) {
+            int * cspec base = `((int *)$data);
+            return (int)compile(`(base[2]), int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        data = proc.machine.memory.alloc_words([5, 6, 7, 8])
+        fn = proc.function(proc.run("build", data), "", "i")
+        assert fn() == 7
+
+
+class TestCostAttribution:
+    def test_spec_time_closures_charged_to_next_compile(self):
+        src = """
+        int build(int x) {
+            int cspec a = `($x + 1);
+            int cspec b = `(a * 2);
+            return (int)compile(b, int);
+        }
+        """
+        proc = compile_c(src)
+        proc.run("build", 3)
+        stats = proc.last_codegen_stats
+        # two closure allocations (a and b) appear in this compile's bill
+        assert stats.events[(Phase.CLOSURE, "alloc")] == 2
+        # composing a into b costs a cgf_call
+        assert stats.events[(Phase.CLOSURE, "cgf_call")] >= 1
+
+    def test_lifetime_accumulates_across_compiles(self):
+        src = """
+        int build(void) {
+            int a;
+            a = (int)compile(`1, int);
+            a = (int)compile(`2, int);
+            a = (int)compile(`3, int);
+            return a;
+        }
+        """
+        proc = compile_c(src)
+        proc.run("build")
+        assert proc.compile_count == 3
+        assert proc.cost.lifetime.events[(Phase.CLOSURE, "alloc")] == 3
+
+    def test_generated_instruction_count_plausible(self):
+        src = "int build(void) { return (int)compile(`(1 + 2), int); }"
+        proc = compile_c(src)
+        entry = proc.run("build")
+        stats = proc.last_codegen_stats
+        actual = len(proc.machine.code.instructions) - entry
+        assert stats.generated_instructions == actual

@@ -1,0 +1,165 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (tok,) = tokenize("foo_bar1")[:-1]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.value == "foo_bar1"
+
+    def test_keyword_vs_identifier(self):
+        toks = tokenize("int intx")[:-1]
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+
+    def test_cspec_and_vspec_are_keywords(self):
+        toks = tokenize("cspec vspec")[:-1]
+        assert all(t.kind is TokenKind.KEYWORD for t in toks)
+
+    def test_tick_token(self):
+        toks = tokenize("`4")[:-1]
+        assert toks[0].kind is TokenKind.TICK
+        assert toks[1].value == 4
+
+    def test_dollar_token(self):
+        toks = tokenize("$x")[:-1]
+        assert toks[0].kind is TokenKind.DOLLAR
+        assert toks[1].value == "x"
+
+    def test_whitespace_and_newlines_skipped(self):
+        assert values("a \t\n b") == ["a", "b"]
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        assert values("42") == [42]
+
+    def test_hex_int(self):
+        assert values("0x1F") == [31]
+
+    def test_hex_uppercase(self):
+        assert values("0XFF") == [255]
+
+    def test_int_suffixes_ignored(self):
+        assert values("42u 42UL 42L") == [42, 42, 42]
+
+    def test_float_literal(self):
+        toks = tokenize("3.25")[:-1]
+        assert toks[0].kind is TokenKind.FLOAT_LIT
+        assert toks[0].value == 3.25
+
+    def test_float_exponent(self):
+        assert values("1e3 2.5e-2") == [1000.0, 0.025]
+
+    def test_leading_dot_float(self):
+        assert values(".5") == [0.5]
+
+    def test_float_suffix(self):
+        toks = tokenize("1.5f")[:-1]
+        assert toks[0].value == 1.5
+
+    def test_malformed_hex_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_integer_then_member_like_dot(self):
+        # "1..." should not swallow the range punctuator
+        toks = tokenize("1 ...")[:-1]
+        assert toks[0].value == 1
+        assert toks[1].value == "..."
+
+
+class TestStringsAndChars:
+    def test_simple_string(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_string_escapes(self):
+        assert values(r'"a\n\t\\\""') == ['a\n\t\\"']
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_char_literal(self):
+        assert values("'A'") == [65]
+
+    def test_char_escape(self):
+        assert values(r"'\n'") == [10]
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+
+class TestPunctuation:
+    def test_longest_match(self):
+        assert values("<<= << <") == ["<<=", "<<", "<"]
+
+    def test_compound_assignment_ops(self):
+        ops = "+= -= *= /= %= &= |= ^= >>="
+        assert values(ops) == ops.split()
+
+    def test_arrow_and_increment(self):
+        assert values("-> ++ --") == ["->", "++", "--"]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("@")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* x \n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_comment_between_tokens(self):
+        assert values("1/*c*/+2") == [1, "+", 2]
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")[:-1]
+        assert toks[0].loc.line == 1 and toks[0].loc.column == 1
+        assert toks[1].loc.line == 2 and toks[1].loc.column == 3
+
+    def test_error_location(self):
+        try:
+            tokenize("x\n  @")
+        except LexError as e:
+            assert e.loc.line == 2
+            assert e.loc.column == 3
+        else:
+            pytest.fail("expected LexError")
+
+    def test_token_helpers(self):
+        tok = tokenize("while")[0]
+        assert tok.is_keyword("while")
+        assert not tok.is_punct("while")

@@ -1,0 +1,195 @@
+"""Corner-case code generation: each scenario runs on the interpreter, the
+static back end, and both dynamic back ends, and they must all agree."""
+
+import pytest
+
+from tests.conftest import compile_c
+
+# Each case: (name, params-decl, body, args, expected)
+CASES = [
+    (
+        "char_arithmetic",
+        "int a",
+        "char c; c = (char)a; return c + 1;",
+        (200,),
+        -56 + 1,
+    ),
+    (
+        "unsigned_char_load_store",
+        "int a",
+        "char buf[2]; buf[0] = (char)a; return (unsigned char)buf[0];",
+        (-1,),
+        255,
+    ),
+    (
+        "negative_modulo",
+        "int a",
+        "return a % 10;",
+        (-37,),
+        -7,
+    ),
+    (
+        "shift_by_register",
+        "int a",
+        "int k; k = 3; return a << k;",
+        (5,),
+        40,
+    ),
+    (
+        "unsigned_right_shift",
+        "int a",
+        "unsigned u; u = (unsigned)a; return (int)(u >> 1);",
+        (-2,),
+        0x7FFFFFFF,
+    ),
+    (
+        "comma_in_condition",
+        "int a",
+        "int x; if ((x = a + 1, x > 3)) return x; return -x;",
+        (5,),
+        6,
+    ),
+    (
+        "nested_ternary",
+        "int a",
+        "return a < 0 ? -1 : a == 0 ? 0 : 1;",
+        (-5,),
+        -1,
+    ),
+    (
+        "logical_value_of_comparison",
+        "int a",
+        "return (a > 2) + (a > 4) * 10;",
+        (3,),
+        1,
+    ),
+    (
+        "float_truthiness",
+        "int a",
+        "double d; d = a * 0.5; if (d) return 1; return 0;",
+        (0,),
+        0,
+    ),
+    (
+        "float_to_int_negative_trunc",
+        "int a",
+        "double d; d = a / 4.0; return (int)d;",
+        (-10,),
+        -2,
+    ),
+    (
+        "pointer_difference",
+        "int a",
+        "int arr[10]; int *p; int *q; p = arr + a; q = arr + 2;"
+        " return p - q;",
+        (7,),
+        5,
+    ),
+    (
+        "pointer_comparison",
+        "int a",
+        "int arr[4]; int *p; p = arr + a; return p > arr;",
+        (1,),
+        1,
+    ),
+    (
+        "compound_pointer_assignment",
+        "int a",
+        "int arr[8]; int *p; int i; for (i = 0; i < 8; i++) arr[i] = i;"
+        " p = arr; p += a; return *p;",
+        (3,),
+        3,
+    ),
+    (
+        "postincrement_value_semantics",
+        "int a",
+        "int i, j; i = a; j = i++ * 10; return j + i;",
+        (4,),
+        45,
+    ),
+    (
+        "predecrement_through_pointer",
+        "int a",
+        "int arr[2]; int *p; arr[0] = a; p = arr; --*p; return arr[0];",
+        (9,),
+        8,
+    ),
+    (
+        "short_circuit_avoids_division",
+        "int a",
+        "return a != 0 && 100 / a > 5;",
+        (0,),
+        0,
+    ),
+    (
+        "bitwise_mix",
+        "int a",
+        "return ((a | 12) & ~5) ^ 3;",
+        (9,),
+        ((9 | 12) & ~5) ^ 3,
+    ),
+    (
+        "while_false_never_runs",
+        "int a",
+        "int s; s = a; while (0) s = 99; return s;",
+        (17,),
+        17,
+    ),
+    (
+        "do_while_runs_once",
+        "int a",
+        "int s; s = 0; do s = s + a; while (0); return s;",
+        (6,),
+        6,
+    ),
+    (
+        "deep_expression_pressure",
+        "int a",
+        "return ((a+1)*(a+2) + (a+3)*(a+4)) * ((a+5)*(a+6) + (a+7)*(a+8))"
+        " + ((a+9)*(a+10) + (a+11)*(a+12));",
+        (1,),
+        ((2 * 3 + 4 * 5) * (6 * 7 + 8 * 9)) + (10 * 11 + 12 * 13),
+    ),
+    (
+        "char_string_walk",
+        "int a",
+        'char *s; int n; s = "hello"; n = 0; while (s[n]) n++;'
+        " return n + a;",
+        (10,),
+        15,
+    ),
+    (
+        "division_rounding_matrix",
+        "int a",
+        "return (a / 3) * 100 + (-a / 3) * 10 + (a % 3) + 5;",
+        (7,),
+        (2 * 100) + (-2 * 10) + 1 + 5,
+    ),
+]
+
+
+@pytest.mark.parametrize("name,params,body,args,expected",
+                         CASES, ids=[c[0] for c in CASES])
+def test_corner_agreement(name, params, body, args, expected):
+    src = f"""
+    int f({params}) {{
+        {body}
+    }}
+    int build(void) {{
+        int vspec a = param(int, 0);
+        void cspec c = `{{
+            {body}
+        }};
+        return (int)compile(c, int);
+    }}
+    """
+    results = {}
+    proc = compile_c(src)
+    results["interp"] = proc.run("f", *args)
+    results["static"] = proc.static_function("f")(*args)
+    for backend in ("vcode", "icode"):
+        dyn = compile_c(src, backend=backend, compile_static=False)
+        entry = dyn.run("build")
+        results[backend] = dyn.function(entry, "i", "i")(*args)
+    results["expected"] = expected
+    assert len(set(results.values())) == 1, (name, results)

@@ -1,0 +1,144 @@
+"""Unit tests for run-time constant strength reduction (tcc 4.4)."""
+
+import pytest
+
+from repro.core.partial_eval import (
+    _is_power_of_two,
+    _shift_add_plan,
+    emit_div_imm,
+    emit_mod_imm,
+    emit_mul_imm,
+)
+from repro.runtime.costmodel import CostModel
+from repro.target.cpu import Machine
+from repro.target.isa import CYCLE_COST, Op, wrap32
+from repro.vcode.machine import VcodeBackend
+
+
+def emit_and_run(emit, x):
+    machine = Machine()
+    backend = VcodeBackend(machine, CostModel())
+    src = backend.alloc_reg("i")
+    dst = backend.alloc_reg("i")
+    backend.li(src, x)
+    emit(backend, dst, src)
+    backend.ret(dst, "i")
+    entry = backend.install()
+    value = machine.call(entry)
+    ops = [i.op for i in machine.code.instructions[entry:]]
+    return value, ops
+
+
+class TestHelpers:
+    def test_power_of_two(self):
+        assert _is_power_of_two(1)
+        assert _is_power_of_two(64)
+        assert not _is_power_of_two(0)
+        assert not _is_power_of_two(12)
+        assert not _is_power_of_two(-4)
+
+    def test_shift_add_plan_sparse_constant(self):
+        assert _shift_add_plan(12) == [2, 3]  # 4 + 8
+
+    def test_shift_add_plan_dense_constant_declined(self):
+        # 0x9E3779B9 has too many set bits: keep the multiply
+        assert _shift_add_plan(0x3779B9) is None
+
+    def test_plan_cost_threshold_tracks_mul_cost(self):
+        # any accepted plan must beat the multiply's cycle cost
+        plan = _shift_add_plan(36)  # 4 + 32: shift,shift,add = 3 ops
+        assert plan is not None
+        assert len(plan) <= CYCLE_COST[Op.MUL]
+
+
+class TestMul:
+    def test_mul_by_zero_is_li(self):
+        value, ops = emit_and_run(lambda b, d, s: emit_mul_imm(b, d, s, 0), 99)
+        assert value == 0
+        assert Op.MUL not in ops and Op.MULI not in ops
+
+    def test_mul_by_one_is_move(self):
+        value, ops = emit_and_run(lambda b, d, s: emit_mul_imm(b, d, s, 1), 7)
+        assert value == 7
+        assert Op.MULI not in ops
+
+    def test_mul_by_minus_one_negates(self):
+        value, ops = emit_and_run(lambda b, d, s: emit_mul_imm(b, d, s, -1), 7)
+        assert value == -7
+        assert Op.NEG in ops
+
+    def test_mul_by_power_of_two_is_shift(self):
+        value, ops = emit_and_run(lambda b, d, s: emit_mul_imm(b, d, s, 16), 5)
+        assert value == 80
+        assert Op.SLLI in ops and Op.MULI not in ops
+
+    def test_mul_by_negative_power_of_two(self):
+        value, ops = emit_and_run(lambda b, d, s: emit_mul_imm(b, d, s, -8), 5)
+        assert value == -40
+        assert Op.MULI not in ops
+
+    def test_mul_sparse_constant_shift_add(self):
+        value, ops = emit_and_run(lambda b, d, s: emit_mul_imm(b, d, s, 10), 7)
+        assert value == 70
+        assert Op.MULI not in ops
+        assert Op.SLLI in ops and Op.ADD in ops
+
+    def test_mul_dense_constant_keeps_multiply(self):
+        k = 0x12345678 | 0x0F0F0F0F
+        value, ops = emit_and_run(lambda b, d, s: emit_mul_imm(b, d, s, k), 3)
+        assert value == wrap32(3 * k)
+        assert Op.MULI in ops
+
+    def test_mul_aliased_dst_src(self):
+        machine = Machine()
+        backend = VcodeBackend(machine, CostModel())
+        r = backend.alloc_reg("i")
+        backend.li(r, 9)
+        emit_mul_imm(backend, r, r, 10)  # dst aliases src
+        backend.ret(r, "i")
+        entry = backend.install()
+        assert machine.call(entry) == 90
+
+
+class TestDivMod:
+    def test_div_by_one(self):
+        value, ops = emit_and_run(
+            lambda b, d, s: emit_div_imm(b, d, s, 1), 41
+        )
+        assert value == 41
+        assert Op.DIVI not in ops
+
+    def test_unsigned_div_pow2_is_shift(self):
+        value, ops = emit_and_run(
+            lambda b, d, s: emit_div_imm(b, d, s, 8, signed=False), 100
+        )
+        assert value == 12
+        assert Op.SRLI in ops and Op.DIVUI not in ops
+
+    def test_signed_div_pow2_rounds_toward_zero(self):
+        value, ops = emit_and_run(
+            lambda b, d, s: emit_div_imm(b, d, s, 4, signed=True), -7
+        )
+        assert value == -1  # C: -7/4 == -1, not -2
+        assert Op.DIVI not in ops
+
+    def test_signed_div_non_pow2_keeps_divide(self):
+        value, ops = emit_and_run(
+            lambda b, d, s: emit_div_imm(b, d, s, 3, signed=True), 10
+        )
+        assert value == 3
+        assert Op.DIVI in ops
+
+    def test_unsigned_mod_pow2_is_mask(self):
+        value, ops = emit_and_run(
+            lambda b, d, s: emit_mod_imm(b, d, s, 16, signed=False), 100
+        )
+        assert value == 4
+        assert Op.ANDI in ops and Op.MODUI not in ops
+
+    def test_signed_mod_keeps_modulo(self):
+        value, ops = emit_and_run(
+            lambda b, d, s: emit_mod_imm(b, d, s, 16, signed=True), -100
+        )
+        assert value == -4
+        assert Op.MODI in ops

@@ -1,0 +1,114 @@
+"""Property tests over randomly generated *programs* (statements, loops,
+conditionals), checked for agreement between the interpreter, both static
+optimization levels, and both dynamic back ends."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import compile_c
+
+# A tiny structured program generator: a sequence of statements over three
+# int variables, with bounded loops so everything terminates.
+
+_VARS = ("a", "b", "c")
+
+
+@st.composite
+def statements(draw, depth=0):
+    kind = draw(st.integers(0, 5 if depth < 2 else 3))
+    v = draw(st.sampled_from(_VARS))
+    w = draw(st.sampled_from(_VARS))
+    k = draw(st.integers(-20, 20))
+    if kind == 0:
+        return f"{v} = {w} + {k};"
+    if kind == 1:
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+        return f"{v} = {v} {op} {w};"
+    if kind == 2:
+        return f"{v} = {w} / {abs(k) + 1};"
+    if kind == 3:
+        rel = draw(st.sampled_from(["<", ">", "==", "!="]))
+        body = draw(statements(depth=depth + 1))
+        other = draw(statements(depth=depth + 1))
+        return f"if ({v} {rel} {k}) {{ {body} }} else {{ {other} }}"
+    if kind == 4:
+        body = draw(statements(depth=depth + 1))
+        n = draw(st.integers(1, 6))
+        return f"for (i = 0; i < {n}; i++) {{ {body} }}"
+    body = draw(statements(depth=depth + 1))
+    return f"{{ {body} {v} = {v} ^ {k}; }}"
+
+
+@st.composite
+def programs(draw):
+    stmts = draw(st.lists(statements(), min_size=1, max_size=6))
+    return "\n        ".join(stmts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(body=programs(), a=st.integers(-50, 50), b=st.integers(-50, 50),
+       c=st.integers(-50, 50))
+def test_program_agreement(body, a, b, c):
+    src = f"""
+    int f(int a, int b, int c) {{
+        int i;
+        {body}
+        return a * 3 + b * 5 + c * 7;
+    }}
+    int build(void) {{
+        int vspec a = param(int, 0);
+        int vspec b = param(int, 1);
+        int vspec c = param(int, 2);
+        void cspec code = `{{
+            int i;
+            {body}
+            return a * 3 + b * 5 + c * 7;
+        }};
+        return (int)compile(code, int);
+    }}
+    """
+    results = {}
+    proc = compile_c(src, static_opt="lcc")
+    results["interp"] = proc.run("f", a, b, c)
+    results["lcc"] = proc.static_function("f")(a, b, c)
+    proc_gcc = compile_c(src, static_opt="gcc")
+    results["gcc"] = proc_gcc.static_function("f")(a, b, c)
+    for backend in ("vcode", "icode"):
+        dyn = compile_c(src, backend=backend, compile_static=False)
+        entry = dyn.run("build")
+        results[backend] = dyn.function(entry, "iii", "i")(a, b, c)
+    assert len(set(results.values())) == 1, (results, body)
+
+
+@settings(max_examples=15, deadline=None)
+@given(body=programs(), n=st.integers(0, 8), a=st.integers(-20, 20))
+def test_unrolled_loop_agrees_with_dynamic_loop(body, n, a):
+    """The same loop body unrolled via $n must equal the run-time loop."""
+    src = f"""
+    int build_unrolled(int n) {{
+        int vspec a = param(int, 0);
+        void cspec code = `{{
+            int k, b, c, i;
+            b = a; c = a;
+            for (k = 0; k < $n; k++) {{ {body} }}
+            return a + b * 2 + c * 3 + k;
+        }};
+        return (int)compile(code, int);
+    }}
+    int build_looped(void) {{
+        int vspec a = param(int, 0);
+        int vspec n = param(int, 1);
+        void cspec code = `{{
+            int k, b, c, i;
+            b = a; c = a;
+            for (k = 0; k < n; k++) {{ {body} }}
+            return a + b * 2 + c * 3 + k;
+        }};
+        return (int)compile(code, int);
+    }}
+    """
+    proc = compile_c(src, compile_static=False)
+    unrolled = proc.function(proc.run("build_unrolled", n), "i", "i")
+    looped = proc.function(proc.run("build_looped"), "ii", "i")
+    assert unrolled(a) == looped(a, n), (body, n, a)

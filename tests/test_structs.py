@@ -1,0 +1,218 @@
+"""Struct support: layout, member access, assignment, pointers, dynamic
+code over struct free variables."""
+
+import pytest
+
+from repro.errors import ParseError, TypeError_
+from repro.frontend import parse, analyze
+from repro.frontend import typesys as T
+from tests.conftest import BACKENDS, compile_c
+
+
+class TestLayout:
+    def _struct(self, source, tag):
+        from repro.frontend.parser import Parser
+        from repro.frontend.lexer import tokenize
+
+        parser = Parser(tokenize(source))
+        parser.parse_translation_unit()
+        return parser.structs[tag]
+
+    def test_sequential_int_fields(self):
+        s = self._struct("struct p { int x; int y; };", "p")
+        assert s.size == 8
+        assert s.field("x") == (T.INT, 0)
+        assert s.field("y") == (T.INT, 4)
+
+    def test_char_padding_before_int(self):
+        s = self._struct("struct p { char c; int i; };", "p")
+        assert s.field("i")[1] == 4
+        assert s.size == 8
+
+    def test_double_alignment(self):
+        s = self._struct("struct p { char c; double d; int i; };", "p")
+        assert s.field("d")[1] == 8
+        assert s.align == 8
+        assert s.size == 24
+
+    def test_nested_struct_field(self):
+        s = self._struct(
+            "struct inner { int a; int b; };"
+            "struct outer { struct inner lo; struct inner hi; };",
+            "outer",
+        )
+        assert s.size == 16
+        assert s.field("hi")[1] == 8
+
+    def test_array_member(self):
+        s = self._struct("struct p { int v[3]; char tag; };", "p")
+        assert s.field("tag")[1] == 12
+        assert s.size == 16
+
+    def test_self_referential_pointer(self):
+        s = self._struct("struct node { int v; struct node *next; };", "node")
+        assert s.size == 8
+        next_ty = s.field("next")[0]
+        assert next_ty.is_pointer() and next_ty.base is s
+
+    def test_missing_member_rejected(self):
+        with pytest.raises(TypeError_, match="no member"):
+            analyze(parse(
+                "struct p { int x; };"
+                "int f(struct p *p) { return p->z; }"
+            ))
+
+    def test_incomplete_member_rejected(self):
+        with pytest.raises(ParseError, match="incomplete"):
+            parse("struct node { int v; struct node inner; };")
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(ParseError, match="members"):
+            parse("struct p { };")
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(ParseError, match="redefinition"):
+            parse("struct p { int x; }; struct p { int y; };")
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse("struct p { int x; int x; };")
+
+
+class TestSemantics:
+    def test_dot_requires_struct(self):
+        with pytest.raises(TypeError_, match="struct"):
+            compile_c("int f(int x) { return x.y; }")
+
+    def test_arrow_requires_pointer(self):
+        with pytest.raises(TypeError_, match="pointer"):
+            compile_c(
+                "struct p { int x; };"
+                "int f(void) { struct p q; return q->x; }"
+            )
+
+    def test_struct_param_by_value_rejected(self):
+        with pytest.raises(TypeError_, match="pointer"):
+            compile_c("struct p { int x; }; int f(struct p q) { return 0; }")
+
+    def test_struct_return_rejected(self):
+        with pytest.raises(TypeError_, match="pointer"):
+            compile_c(
+                "struct p { int x; }; struct p f(void) { struct p q; "
+                "return q; }"
+            )
+
+    def test_struct_assignment_requires_same_tag(self):
+        with pytest.raises(TypeError_):
+            compile_c(
+                "struct a { int x; }; struct b { int x; };"
+                "void f(void) { struct a p; struct b q; p = q; }"
+            )
+
+    def test_sizeof_struct(self):
+        proc = compile_c(
+            "struct p { int x; double d; };"
+            "int f(void) { return sizeof(struct p); }"
+        )
+        assert proc.run("f") == 16
+
+
+EXEC_SRC = r"""
+struct vec { int x; int y; int z; };
+struct pair { struct vec a; struct vec b; };
+
+int dot(struct vec *u, struct vec *v) {
+    return u->x * v->x + u->y * v->y + u->z * v->z;
+}
+
+int run(void) {
+    struct pair p;
+    struct vec t;
+    p.a.x = 1; p.a.y = 2; p.a.z = 3;
+    p.b = p.a;           /* nested struct copy */
+    p.b.y = 10;
+    t = p.b;
+    return dot(&p.a, &t);   /* 1 + 20 + 9 */
+}
+
+int sum_array(int n) {
+    struct vec vs[8];
+    int i, s;
+    for (i = 0; i < n; i++) {
+        vs[i].x = i;
+        vs[i].y = 2 * i;
+        vs[i].z = 0;
+    }
+    s = 0;
+    for (i = 0; i < n; i++)
+        s = s + vs[i].x + vs[i].y;
+    return s;
+}
+"""
+
+
+class TestExecution:
+    def test_interpreter(self):
+        proc = compile_c(EXEC_SRC)
+        assert proc.run("run") == 30
+        assert proc.run("sum_array", 5) == sum(3 * i for i in range(5))
+
+    @pytest.mark.parametrize("opt", ["lcc", "gcc"])
+    def test_static_compiled(self, opt):
+        proc = compile_c(EXEC_SRC, static_opt=opt)
+        assert proc.static_function("run")() == 30
+        assert proc.static_function("sum_array")(5) == 30
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_dynamic_code_over_struct_freevar(self, backend):
+        src = r"""
+        struct acc { int total; int count; };
+        struct acc state;
+        int build(void) {
+            int vspec v = param(int, 0);
+            void cspec c = `{
+                state.total = state.total + v;
+                state.count = state.count + 1;
+                return state.total * 100 + state.count;
+            };
+            return (int)compile(c, int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        fn = proc.function(proc.run("build"), "i", "i")
+        assert fn(5) == 5 * 100 + 1
+        assert fn(7) == 12 * 100 + 2
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_dynamic_code_through_struct_pointer_param(self, backend):
+        src = r"""
+        struct vec { int x; int y; int z; };
+        int build(void) {
+            struct vec * vspec v = param(struct vec *, 0);
+            return (int)compile(`(v->x + v->y * v->z), int);
+        }
+        """
+        proc = compile_c(src, backend=backend)
+        mem = proc.machine.memory
+        addr = mem.alloc_words([3, 4, 5])
+        fn = proc.function(proc.run("build"), "i", "i")
+        assert fn(addr) == 3 + 4 * 5
+
+    def test_dollar_of_struct_member(self):
+        src = r"""
+        struct cfg { int scale; int offset; };
+        struct cfg c;
+        int build(void) {
+            int vspec x = param(int, 0);
+            c.scale = 4;
+            c.offset = 3;
+            return (int)compile(`(x * $(c.scale) + $(c.offset)), int);
+        }
+        """
+        proc = compile_c(src)
+        fn = proc.function(proc.run("build"), "i", "i")
+        assert fn(10) == 43
+        from repro.target.isa import Op
+
+        ops = [i.op for i in proc.machine.code.instructions[fn.entry:]]
+        assert Op.MULI not in ops  # *4 strength-reduced to a shift

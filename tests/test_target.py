@@ -1,0 +1,460 @@
+"""Target machine tests: memory, ISA semantics, CPU execution, linking."""
+
+import pytest
+
+from repro.errors import LinkError, MachineError
+from repro.target.cpu import CPU, Function, Machine
+from repro.target.isa import (
+    CYCLE_COST,
+    Instruction,
+    Op,
+    Reg,
+    unsigned32,
+    wrap32,
+)
+from repro.target.memory import Memory
+from repro.target.program import Label
+
+
+class TestWrap32:
+    def test_positive_in_range(self):
+        assert wrap32(123) == 123
+
+    def test_overflow_wraps_negative(self):
+        assert wrap32(0x80000000) == -(1 << 31)
+
+    def test_negative_wraps(self):
+        assert wrap32(-(1 << 31) - 1) == (1 << 31) - 1
+
+    def test_unsigned_view(self):
+        assert unsigned32(-1) == 0xFFFFFFFF
+
+
+class TestMemory:
+    def test_word_roundtrip(self):
+        m = Memory()
+        a = m.alloc(8)
+        m.store_word(a, -12345)
+        assert m.load_word(a) == -12345
+
+    def test_word_wraps_to_32_bits(self):
+        m = Memory()
+        a = m.alloc(4)
+        m.store_word(a, 0x1_0000_0005)
+        assert m.load_word(a) == 5
+
+    def test_byte_signed_and_unsigned(self):
+        m = Memory()
+        a = m.alloc(1)
+        m.store_byte(a, 0xFF)
+        assert m.load_byte(a) == -1
+        assert m.load_byte_unsigned(a) == 255
+
+    def test_double_roundtrip(self):
+        m = Memory()
+        a = m.alloc(8)
+        m.store_double(a, 3.5e-3)
+        assert m.load_double(a) == 3.5e-3
+
+    def test_null_page_traps(self):
+        m = Memory()
+        with pytest.raises(MachineError):
+            m.load_word(0)
+
+    def test_out_of_bounds_traps(self):
+        m = Memory()
+        with pytest.raises(MachineError):
+            m.load_word(m.size)
+
+    def test_alloc_alignment(self):
+        m = Memory()
+        m.alloc(1, align=1)
+        a = m.alloc(8, align=8)
+        assert a % 8 == 0
+
+    def test_alloc_exhaustion(self):
+        m = Memory(size=1 << 17, stack_size=1 << 16)
+        with pytest.raises(MachineError):
+            m.alloc(1 << 20)
+
+    def test_mark_release(self):
+        m = Memory()
+        m.mark()
+        a = m.alloc(64)
+        m.release()
+        b = m.alloc(64)
+        assert a == b
+
+    def test_release_without_mark(self):
+        with pytest.raises(MachineError):
+            Memory().release()
+
+    def test_alloc_words_and_read(self):
+        m = Memory()
+        a = m.alloc_words([1, -2, 3])
+        assert m.read_words(a, 3) == [1, -2, 3]
+
+    def test_cstring_roundtrip(self):
+        m = Memory()
+        a = m.alloc_cstring("héllo")
+        assert m.read_cstring(a) == "héllo"
+
+    def test_bytes_roundtrip(self):
+        m = Memory()
+        a = m.alloc_bytes(b"\x00\x01\xfe")
+        assert m.read_bytes(a, 3) == b"\x00\x01\xfe"
+
+
+def run_program(instrs, args=(), fuel=100_000):
+    """Assemble, run with the standard convention, return (machine, rv)."""
+    machine = Machine(fuel=fuel)
+    entry = machine.code.extend(instrs)
+    machine.code.link()
+    rv = machine.call(entry, args)
+    return machine, rv
+
+
+class TestCPUBasics:
+    def test_li_and_return(self):
+        _, rv = run_program([
+            Instruction(Op.LI, Reg.RV, 42),
+            Instruction(Op.RET),
+        ])
+        assert rv == 42
+
+    def test_zero_register_is_immutable(self):
+        _, rv = run_program([
+            Instruction(Op.LI, Reg.ZERO, 99),
+            Instruction(Op.MOV, Reg.RV, Reg.ZERO),
+            Instruction(Op.RET),
+        ])
+        assert rv == 0
+
+    def test_arithmetic(self):
+        _, rv = run_program([
+            Instruction(Op.LI, Reg.T0, 7),
+            Instruction(Op.LI, Reg.T1, 5),
+            Instruction(Op.SUB, Reg.RV, Reg.T0, Reg.T1),
+            Instruction(Op.RET),
+        ])
+        assert rv == 2
+
+    def test_argument_passing(self):
+        _, rv = run_program([
+            Instruction(Op.ADD, Reg.RV, Reg.A0, Reg.A1),
+            Instruction(Op.RET),
+        ], args=(30, 12))
+        assert rv == 42
+
+    def test_mul_wraps(self):
+        _, rv = run_program([
+            Instruction(Op.LI, Reg.T0, 0x10000),
+            Instruction(Op.MUL, Reg.RV, Reg.T0, Reg.T0),
+            Instruction(Op.RET),
+        ])
+        assert rv == 0
+
+    def test_signed_division_truncates(self):
+        _, rv = run_program([
+            Instruction(Op.LI, Reg.T0, -7),
+            Instruction(Op.DIVI, Reg.RV, Reg.T0, 2),
+            Instruction(Op.RET),
+        ])
+        assert rv == -3
+
+    def test_signed_modulo_sign(self):
+        _, rv = run_program([
+            Instruction(Op.LI, Reg.T0, -7),
+            Instruction(Op.MODI, Reg.RV, Reg.T0, 2),
+            Instruction(Op.RET),
+        ])
+        assert rv == -1
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(MachineError, match="zero"):
+            run_program([
+                Instruction(Op.LI, Reg.T0, 1),
+                Instruction(Op.DIV, Reg.RV, Reg.T0, Reg.ZERO),
+                Instruction(Op.RET),
+            ])
+
+    def test_unsigned_division(self):
+        _, rv = run_program([
+            Instruction(Op.LI, Reg.T0, -1),  # 0xFFFFFFFF
+            Instruction(Op.DIVUI, Reg.RV, Reg.T0, 2),
+            Instruction(Op.RET),
+        ])
+        assert rv == 0x7FFFFFFF
+
+    def test_shifts(self):
+        _, rv = run_program([
+            Instruction(Op.LI, Reg.T0, -8),
+            Instruction(Op.SRAI, Reg.RV, Reg.T0, 1),
+            Instruction(Op.RET),
+        ])
+        assert rv == -4
+        _, rv = run_program([
+            Instruction(Op.LI, Reg.T0, -8),
+            Instruction(Op.SRLI, Reg.RV, Reg.T0, 1),
+            Instruction(Op.RET),
+        ])
+        assert rv == 0x7FFFFFFC
+
+    def test_compare_and_set(self):
+        _, rv = run_program([
+            Instruction(Op.LI, Reg.T0, 3),
+            Instruction(Op.SLTI, Reg.RV, Reg.T0, 5),
+            Instruction(Op.RET),
+        ])
+        assert rv == 1
+
+    def test_sltu_unsigned_compare(self):
+        _, rv = run_program([
+            Instruction(Op.LI, Reg.T0, -1),
+            Instruction(Op.LI, Reg.T1, 1),
+            Instruction(Op.SLTU, Reg.RV, Reg.T0, Reg.T1),
+            Instruction(Op.RET),
+        ])
+        assert rv == 0  # 0xFFFFFFFF is not < 1 unsigned
+
+
+class TestControlFlow:
+    def test_branch_taken(self):
+        end = Label()
+        machine = Machine()
+        entry = machine.code.here
+        machine.code.extend([
+            Instruction(Op.LI, Reg.RV, 1),
+            Instruction(Op.BEQZ, Reg.ZERO, end),
+            Instruction(Op.LI, Reg.RV, 2),
+        ])
+        end.address = machine.code.here
+        machine.code.emit(Instruction(Op.RET))
+        machine.code.link()
+        assert machine.call(entry) == 1
+
+    def test_loop_sums(self):
+        # sum 1..10 with a BNEZ loop
+        top = Label()
+        machine = Machine()
+        entry = machine.code.here
+        machine.code.emit(Instruction(Op.LI, Reg.T0, 10))
+        machine.code.emit(Instruction(Op.LI, Reg.RV, 0))
+        top.address = machine.code.here
+        machine.code.extend([
+            Instruction(Op.ADD, Reg.RV, Reg.RV, Reg.T0),
+            Instruction(Op.SUBI, Reg.T0, Reg.T0, 1),
+            Instruction(Op.BNEZ, Reg.T0, top),
+            Instruction(Op.RET),
+        ])
+        machine.code.link()
+        assert machine.call(entry) == 55
+
+    def test_call_and_ret(self):
+        machine = Machine()
+        callee = machine.code.extend([
+            Instruction(Op.ADDI, Reg.RV, Reg.A0, 1),
+            Instruction(Op.RET),
+        ])
+        entry = machine.code.extend([
+            Instruction(Op.LI, Reg.A0, 41),
+            Instruction(Op.MOV, Reg.T0, Reg.RA),
+            Instruction(Op.CALL, callee),
+            Instruction(Op.MOV, Reg.RA, Reg.T0),
+            Instruction(Op.RET),
+        ])
+        machine.code.link()
+        assert machine.call(entry) == 42
+
+    def test_indirect_call(self):
+        machine = Machine()
+        callee = machine.code.extend([
+            Instruction(Op.MULI, Reg.RV, Reg.A0, 2),
+            Instruction(Op.RET),
+        ])
+        entry = machine.code.extend([
+            Instruction(Op.LI, Reg.T1, callee),
+            Instruction(Op.LI, Reg.A0, 21),
+            Instruction(Op.MOV, Reg.T0, Reg.RA),
+            Instruction(Op.CALLR, Reg.T1),
+            Instruction(Op.MOV, Reg.RA, Reg.T0),
+            Instruction(Op.RET),
+        ])
+        machine.code.link()
+        assert machine.call(entry) == 42
+
+    def test_runaway_fuel_guard(self):
+        loop = Label()
+        machine = Machine(fuel=1000)
+        entry = machine.code.here
+        loop.address = entry
+        machine.code.emit(Instruction(Op.JMP, loop))
+        machine.code.link()
+        with pytest.raises(MachineError, match="budget"):
+            machine.call(entry)
+
+    def test_pc_out_of_range(self):
+        machine = Machine()
+        entry = machine.code.emit(Instruction(Op.JMP, 99999))
+        machine.code.link()
+        with pytest.raises(MachineError, match="range"):
+            machine.call(entry)
+
+
+class TestMemoryOps:
+    def test_load_store_word(self):
+        machine = Machine()
+        addr = machine.memory.alloc_words([0])
+        entry = machine.code.extend([
+            Instruction(Op.LI, Reg.T0, 77),
+            Instruction(Op.SW, Reg.T0, Reg.ZERO, addr),
+            Instruction(Op.LW, Reg.RV, Reg.ZERO, addr),
+            Instruction(Op.RET),
+        ])
+        machine.code.link()
+        assert machine.call(entry) == 77
+
+    def test_byte_ops(self):
+        machine = Machine()
+        addr = machine.memory.alloc(4)
+        entry = machine.code.extend([
+            Instruction(Op.LI, Reg.T0, 0x1FF),
+            Instruction(Op.SB, Reg.T0, Reg.ZERO, addr),
+            Instruction(Op.LBU, Reg.RV, Reg.ZERO, addr),
+            Instruction(Op.RET),
+        ])
+        machine.code.link()
+        assert machine.call(entry) == 0xFF
+
+    def test_float_ops(self):
+        machine = Machine()
+        entry = machine.code.extend([
+            Instruction(Op.FLI, 1, 1.5),
+            Instruction(Op.FLI, 2, 2.25),
+            Instruction(Op.FADD, 0, 1, 2),
+            Instruction(Op.RET),
+        ])
+        machine.code.link()
+        assert machine.call(entry, returns="f") == 3.75
+
+    def test_cvt_roundtrip(self):
+        machine = Machine()
+        entry = machine.code.extend([
+            Instruction(Op.LI, Reg.T0, -3),
+            Instruction(Op.CVTIF, 1, Reg.T0),
+            Instruction(Op.FMUL, 1, 1, 1),
+            Instruction(Op.CVTFI, Reg.RV, 1),
+            Instruction(Op.RET),
+        ])
+        machine.code.link()
+        assert machine.call(entry) == 9
+
+
+class TestCycles:
+    def test_cycle_accounting_simple(self):
+        machine, _ = run_program([
+            Instruction(Op.LI, Reg.RV, 1),   # 1
+            Instruction(Op.MULI, Reg.RV, Reg.RV, 3),  # 20
+            Instruction(Op.RET),             # 2
+        ])
+        # +0 for the HALT sentinel
+        assert machine.cpu.cycles == CYCLE_COST[Op.LI] + \
+            CYCLE_COST[Op.MULI] + CYCLE_COST[Op.RET]
+
+    def test_taken_branch_costs_extra(self):
+        taken, _ = run_program([
+            Instruction(Op.BEQZ, Reg.ZERO, 0),  # jumps to HALT at 0
+        ])
+        not_taken, _ = run_program([
+            Instruction(Op.BEQZ, Reg.A0, 0),
+            Instruction(Op.RET),
+        ], args=(1,))
+        assert taken.cpu.cycles == CYCLE_COST[Op.BEQZ] + 1
+        assert not_taken.cpu.cycles == CYCLE_COST[Op.BEQZ] + CYCLE_COST[Op.RET]
+
+    def test_mul_div_are_expensive(self):
+        assert CYCLE_COST[Op.MUL] >= 15
+        assert CYCLE_COST[Op.DIV] >= 30
+
+
+class TestHostcallsAndFunctions:
+    def test_print_int(self):
+        machine = Machine()
+        entry = machine.code.extend([
+            Instruction(Op.LI, Reg.A0, 7),
+            Instruction(Op.HOSTCALL, machine.host_function_index("print_int")),
+            Instruction(Op.RET),
+        ])
+        machine.code.link()
+        machine.call(entry)
+        assert machine.drain_output() == "7"
+
+    def test_function_wrapper_signature(self):
+        machine = Machine()
+        entry = machine.code.extend([
+            Instruction(Op.ADD, Reg.RV, Reg.A0, Reg.A1),
+            Instruction(Op.RET),
+        ])
+        machine.code.link()
+        fn = Function(machine, entry, "ii", "i", "add")
+        assert fn(4, 5) == 9
+        with pytest.raises(MachineError, match="expects"):
+            fn(1)
+
+    def test_function_wrapper_float(self):
+        machine = Machine()
+        entry = machine.code.extend([
+            Instruction(Op.FADD, 0, 1, 2),
+            Instruction(Op.RET),
+        ])
+        machine.code.link()
+        fn = Function(machine, entry, "ff", "f")
+        assert fn(0.5, 0.25) == 0.75
+
+
+class TestLinking:
+    def test_unresolved_label(self):
+        machine = Machine()
+        machine.code.emit(Instruction(Op.JMP, Label("never")))
+        with pytest.raises(LinkError, match="unresolved"):
+            machine.code.link()
+
+    def test_funcref_resolution(self):
+        from repro.core.operands import FuncRef
+
+        machine = Machine()
+        machine.code.define("target", 5)
+        machine.code.emit(Instruction(Op.CALL, FuncRef("target")))
+        machine.code.link()
+        assert machine.code.instructions[-1].a == 5
+
+    def test_undefined_funcref(self):
+        from repro.core.operands import FuncRef
+
+        machine = Machine()
+        machine.code.emit(Instruction(Op.CALL, FuncRef("ghost")))
+        with pytest.raises(LinkError, match="ghost"):
+            machine.code.link()
+
+    def test_duplicate_symbol(self):
+        machine = Machine()
+        machine.code.define("x", 1)
+        with pytest.raises(LinkError, match="twice"):
+            machine.code.define("x", 2)
+
+    def test_incremental_link(self):
+        machine = Machine()
+        l1 = Label()
+        machine.code.emit(Instruction(Op.JMP, l1))
+        l1.address = machine.code.here
+        machine.code.emit(Instruction(Op.RET))
+        machine.code.link()
+        # a second batch links independently
+        l2 = Label()
+        machine.code.emit(Instruction(Op.JMP, l2))
+        l2.address = machine.code.here
+        machine.code.emit(Instruction(Op.RET))
+        machine.code.link()
+        assert all(
+            not isinstance(i.a, Label) for i in machine.code.instructions
+        )

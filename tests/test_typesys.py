@@ -1,0 +1,152 @@
+"""Type-system unit tests."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.frontend import typesys as T
+
+
+class TestBasics:
+    def test_sizes(self):
+        assert T.INT.size == 4
+        assert T.CHAR.size == 1
+        assert T.DOUBLE.size == 8
+        assert T.PointerType(T.DOUBLE).size == 4
+        assert T.ArrayType(T.INT, 10).size == 40
+
+    def test_predicates(self):
+        assert T.INT.is_integer() and T.INT.is_arith() and T.INT.is_scalar()
+        assert T.DOUBLE.is_float() and not T.DOUBLE.is_integer()
+        assert T.VOID.is_void() and not T.VOID.is_scalar()
+        assert T.PointerType(T.INT).is_scalar()
+        assert not T.ArrayType(T.INT, 2).is_scalar()
+
+    def test_equality_structural(self):
+        assert T.PointerType(T.INT) == T.PointerType(T.INT)
+        assert T.PointerType(T.INT) != T.PointerType(T.CHAR)
+        assert T.ArrayType(T.INT, 3) != T.ArrayType(T.INT, 4)
+        assert T.CspecType(T.INT) == T.CspecType(T.INT)
+        assert T.CspecType(T.INT) != T.VspecType(T.INT)
+
+    def test_struct_identity_not_structural(self):
+        a = T.StructType("p")
+        b = T.StructType("p")
+        a.define([("x", T.INT)])
+        b.define([("x", T.INT)])
+        assert a != b
+        assert a == a
+
+    def test_function_type_str(self):
+        f = T.FunctionType(T.INT, (T.INT, T.DOUBLE), varargs=True)
+        assert "..." in str(f)
+
+    def test_hashable(self):
+        types = {T.INT, T.UINT, T.PointerType(T.INT), T.CspecType(T.VOID)}
+        assert len(types) == 4
+
+
+class TestConversions:
+    def test_promotion(self):
+        assert T.promote(T.CHAR) == T.INT
+        assert T.promote(T.UCHAR) == T.INT
+        assert T.promote(T.INT) == T.INT
+
+    def test_usual_arith_float_wins(self):
+        assert T.usual_arith(T.INT, T.DOUBLE) == T.DOUBLE
+
+    def test_usual_arith_unsigned_wins(self):
+        assert T.usual_arith(T.INT, T.UINT) == T.UINT
+
+    def test_usual_arith_chars_promote(self):
+        assert T.usual_arith(T.CHAR, T.CHAR) == T.INT
+
+    def test_usual_arith_rejects_pointers(self):
+        with pytest.raises(TypeError_):
+            T.usual_arith(T.PointerType(T.INT), T.INT)
+
+    def test_decay(self):
+        assert T.decay(T.ArrayType(T.INT, 5)) == T.PointerType(T.INT)
+        fn = T.FunctionType(T.VOID, ())
+        assert T.decay(fn) == T.PointerType(fn)
+        assert T.decay(T.INT) == T.INT
+
+
+class TestAssignable:
+    def test_arith_cross_assign(self):
+        assert T.assignable(T.DOUBLE, T.INT)
+        assert T.assignable(T.INT, T.DOUBLE)
+        assert T.assignable(T.CHAR, T.INT)
+
+    def test_pointer_rules(self):
+        ip = T.PointerType(T.INT)
+        cp = T.PointerType(T.CHAR)
+        vp = T.VOID_PTR
+        assert T.assignable(ip, ip)
+        assert not T.assignable(ip, cp)
+        assert T.assignable(ip, vp) and T.assignable(vp, cp)
+
+    def test_array_decays_on_assign(self):
+        assert T.assignable(T.PointerType(T.INT), T.ArrayType(T.INT, 4))
+
+    def test_int_pointer_mixing_tolerated(self):
+        assert T.assignable(T.PointerType(T.INT), T.INT)
+        assert T.assignable(T.INT, T.PointerType(T.INT))
+
+    def test_spec_types(self):
+        assert T.assignable(T.CspecType(T.INT), T.CspecType(T.INT))
+        assert not T.assignable(T.CspecType(T.INT), T.CspecType(T.DOUBLE))
+        assert not T.assignable(T.CspecType(T.INT), T.INT)
+
+    def test_struct_assign_same_tag_only(self):
+        a = T.StructType("a")
+        a.define([("x", T.INT)])
+        b = T.StructType("b")
+        b.define([("x", T.INT)])
+        assert T.assignable(a, a)
+        assert not T.assignable(a, b)
+
+
+class TestSizeof:
+    def test_plain(self):
+        assert T.sizeof(T.INT) == 4
+
+    def test_incomplete_array_rejected(self):
+        with pytest.raises(TypeError_, match="incomplete"):
+            T.sizeof(T.ArrayType(T.INT, None))
+
+    def test_void_rejected(self):
+        with pytest.raises(TypeError_):
+            T.sizeof(T.VOID)
+
+    def test_incomplete_struct_rejected(self):
+        s = T.StructType("later")
+        with pytest.raises(TypeError_, match="incomplete"):
+            T.sizeof(s)
+
+    def test_function_rejected(self):
+        with pytest.raises(TypeError_):
+            T.sizeof(T.FunctionType(T.INT, ()))
+
+    def test_storage_kind(self):
+        assert T.storage_kind(T.DOUBLE) == "f"
+        assert T.storage_kind(T.INT) == "i"
+        assert T.storage_kind(T.PointerType(T.DOUBLE)) == "i"
+
+
+class TestStructLayoutUnit:
+    def test_empty_until_defined(self):
+        s = T.StructType("pending")
+        assert not s.complete
+        s.define([("a", T.CHAR), ("b", T.CHAR)])
+        assert s.complete and s.size == 2 and s.align == 1
+
+    def test_redefine_rejected(self):
+        s = T.StructType("once")
+        s.define([("a", T.INT)])
+        with pytest.raises(TypeError_, match="redefinition"):
+            s.define([("b", T.INT)])
+
+    def test_field_lookup_miss(self):
+        s = T.StructType("p")
+        s.define([("a", T.INT)])
+        assert s.field("nope") is None

@@ -1,0 +1,212 @@
+"""VCODE back-end tests: getreg/putreg, spilling, one-pass emission."""
+
+import pytest
+
+from repro.core.operands import PReg, Spill
+from repro.errors import CodegenError
+from repro.runtime.closures import Vspec
+from repro.runtime.costmodel import CostModel, Phase
+from repro.target.cpu import Machine
+from repro.target.isa import ALLOCATABLE_REGS, Op
+from repro.frontend import typesys as T
+from repro.vcode.machine import VcodeBackend
+
+
+@pytest.fixture
+def backend():
+    machine = Machine()
+    cost = CostModel()
+    return VcodeBackend(machine, cost)
+
+
+class TestGetregPutreg:
+    def test_alloc_returns_physical_registers(self, backend):
+        handle = backend.alloc_reg("i")
+        assert isinstance(handle, PReg)
+        assert handle.num in ALLOCATABLE_REGS
+
+    def test_exhaustion_spills(self, backend):
+        handles = [backend.alloc_reg("i") for _ in range(len(ALLOCATABLE_REGS))]
+        extra = backend.alloc_reg("i")
+        assert isinstance(extra, Spill)
+        assert all(isinstance(h, PReg) for h in handles)
+
+    def test_spills_disabled_raises(self):
+        machine = Machine()
+        be = VcodeBackend(machine, CostModel(), allow_spills=False)
+        for _ in range(len(ALLOCATABLE_REGS)):
+            be.alloc_reg("i")
+        with pytest.raises(CodegenError, match="disabled"):
+            be.alloc_reg("i")
+
+    def test_putreg_recycles(self, backend):
+        h = backend.alloc_reg("i")
+        backend.free_reg(h)
+        h2 = backend.alloc_reg("i")
+        assert h2.num == h.num
+
+    def test_spill_slot_recycled(self, backend):
+        for _ in range(len(ALLOCATABLE_REGS)):
+            backend.alloc_reg("i")
+        s1 = backend.alloc_reg("i")
+        backend.free_reg(s1)
+        s2 = backend.alloc_reg("i")
+        assert s2.idx == s1.idx
+
+    def test_float_pool_separate(self, backend):
+        fi = backend.alloc_reg("f")
+        ii = backend.alloc_reg("i")
+        assert fi.cls == "f" and ii.cls == "i"
+
+    def test_vspec_storage_is_stable(self, backend):
+        vspec = Vspec("local", T.INT, "i")
+        a = backend.vspec_storage(vspec)
+        b = backend.vspec_storage(vspec)
+        assert a is b
+
+    def test_getreg_cost_charged(self, backend):
+        before = backend.cost.current.events[(Phase.EMIT, "getreg")]
+        backend.alloc_reg("i")
+        assert backend.cost.current.events[(Phase.EMIT, "getreg")] == before + 1
+
+
+class TestEmission:
+    def test_emitted_instruction_count_tracked(self, backend):
+        r = backend.alloc_reg("i")
+        backend.li(r, 5)
+        backend.binop_imm("add", r, r, 1)
+        assert backend.cost.current.generated_instructions == 2
+
+    def test_spilled_operand_emits_loads(self, backend):
+        for _ in range(len(ALLOCATABLE_REGS)):
+            backend.alloc_reg("i")
+        spilled = backend.alloc_reg("i")
+        n_before = len(backend.body)
+        backend.li(spilled, 7)
+        # LI into scratch plus SW to the spill slot
+        assert len(backend.body) == n_before + 2
+        assert backend.body[-1].op is Op.SW
+
+    def test_spilled_source_reloaded(self, backend):
+        for _ in range(len(ALLOCATABLE_REGS)):
+            backend.alloc_reg("i")
+        spilled = backend.alloc_reg("i")
+        reg = PReg(ALLOCATABLE_REGS[0], "i")
+        backend.li(spilled, 7)
+        n = len(backend.body)
+        backend.binop("add", reg, spilled, reg)
+        assert backend.body[n].op is Op.LW
+
+    def test_lvalue_check_charged_for_spills(self, backend):
+        for _ in range(len(ALLOCATABLE_REGS)):
+            backend.alloc_reg("i")
+        spilled = backend.alloc_reg("i")
+        before = backend.cost.current.events[(Phase.EMIT, "lvalue_check")]
+        backend.li(spilled, 1)
+        assert backend.cost.current.events[
+            (Phase.EMIT, "lvalue_check")
+        ] > before
+
+    def test_sltu_without_imm_form_materializes(self, backend):
+        dst = backend.alloc_reg("i")
+        src = backend.alloc_reg("i")
+        backend.binop_imm("sltu", dst, src, 10)
+        assert any(i.op is Op.SLTU for i in backend.body)
+
+    def test_install_produces_callable_code(self, backend):
+        r = backend.alloc_reg("i")
+        backend.li(r, 41)
+        backend.binop_imm("add", r, r, 1)
+        backend.ret(r, "i")
+        entry = backend.install()
+        assert backend.machine.call(entry) == 42
+
+    def test_install_only_once(self, backend):
+        backend.ret(None)
+        backend.install()
+        with pytest.raises(CodegenError, match="already"):
+            backend.install()
+
+    def test_callee_saved_registers_restored(self, backend):
+        machine = backend.machine
+        r = backend.alloc_reg("i")
+        backend.li(r, 1)
+        backend.ret(r, "i")
+        entry = backend.install()
+        # pollute the register, call, and check it is preserved
+        machine.cpu.regs[r.num] = 777
+        machine.call(entry)
+        assert machine.cpu.regs[r.num] == 777
+
+    def test_labels_and_branches(self, backend):
+        r = backend.alloc_reg("i")
+        out = backend.new_label()
+        backend.li(r, 1)
+        backend.beqz(r, out)         # not taken
+        backend.li(r, 42)
+        backend.place(out)
+        backend.ret(r, "i")
+        entry = backend.install()
+        assert backend.machine.call(entry) == 42
+
+    def test_call_through_register(self, backend):
+        machine = backend.machine
+        from repro.target.isa import Instruction, Reg
+
+        callee = machine.code.extend([
+            Instruction(Op.MULI, Reg.RV, Reg.A0, 3),
+            Instruction(Op.RET),
+        ])
+        machine.code.link()
+        target = backend.alloc_reg("i")
+        arg = backend.alloc_reg("i")
+        backend.li(target, callee)
+        backend.li(arg, 5)
+        result = backend.call(target, [(arg, "i")], "i")
+        backend.ret(result, "i")
+        entry = backend.install()
+        assert machine.call(entry) == 15
+
+    def test_bind_param_copies_argument(self, backend):
+        storage = backend.alloc_reg("i")
+        backend.bind_param(storage, 0, "i")
+        backend.binop_imm("add", storage, storage, 100)
+        backend.ret(storage, "i")
+        entry = backend.install()
+        assert backend.machine.call(entry, (5,)) == 105
+
+    def test_too_many_int_args_rejected(self, backend):
+        args = [(backend.alloc_reg("i"), "i") for _ in range(7)]
+        with pytest.raises(CodegenError, match="arguments"):
+            backend.call(0, args, None)
+
+    def test_hostcall_emission(self, backend):
+        machine = backend.machine
+        arg = backend.alloc_reg("i")
+        backend.li(arg, 123)
+        backend.hostcall("print_int", [(arg, "i")])
+        backend.ret(None)
+        entry = backend.install()
+        machine.call(entry)
+        assert machine.drain_output() == "123"
+
+    def test_float_return(self, backend):
+        f = backend.alloc_reg("f")
+        backend.fli(f, 2.5)
+        backend.fbinop("fmul", f, f, f)
+        backend.ret(f, "f")
+        entry = backend.install()
+        assert backend.machine.call(entry, returns="f") == 6.25
+
+    def test_spilled_code_still_correct(self, backend):
+        """Fill every register, then compute with spilled values."""
+        handles = [backend.alloc_reg("i") for _ in range(16)]
+        for i, h in enumerate(handles):
+            backend.li(h, i + 1)
+        total = backend.alloc_reg("i")  # also spilled
+        backend.li(total, 0)
+        for h in handles:
+            backend.binop("add", total, total, h)
+        backend.ret(total, "i")
+        entry = backend.install()
+        assert backend.machine.call(entry) == sum(range(1, 17))
