@@ -41,16 +41,23 @@ from repro.core.driver import (
 )
 from repro.errors import (
     CodegenError,
+    CodeSegmentExhausted,
     CompileError,
+    CycleBudgetExceeded,
+    IllegalInstruction,
     LexError,
     LinkError,
     MachineError,
+    OutOfMemory,
     ParseError,
     RuntimeTccError,
+    SegmentationFault,
     TccError,
     TypeError_,
+    UnalignedAccess,
 )
-from repro.target.cpu import Function, Machine
+from repro.target.cpu import Function, ICache, Machine
+from repro.target.memory import Memory
 
 __version__ = "1.0.0"
 
@@ -60,6 +67,8 @@ __all__ = [
     "Process",
     "BackendKind",
     "Machine",
+    "Memory",
+    "ICache",
     "Function",
     "TccError",
     "CompileError",
@@ -69,6 +78,12 @@ __all__ = [
     "CodegenError",
     "RuntimeTccError",
     "MachineError",
+    "SegmentationFault",
+    "UnalignedAccess",
+    "IllegalInstruction",
+    "CycleBudgetExceeded",
+    "CodeSegmentExhausted",
+    "OutOfMemory",
     "LinkError",
     "__version__",
 ]

@@ -28,7 +28,12 @@ from repro.core.cgf import CGF
 from repro.core.interp import Interp, MemCell, PyCell
 from repro.core.lowering import CodeGen, EmitCtx, cls_of
 from repro.core import static_backend
-from repro.errors import CodegenError, RuntimeTccError, TccError
+from repro.errors import (
+    CodegenError,
+    CodeSegmentExhausted,
+    RuntimeTccError,
+    TccError,
+)
 from repro.frontend import cast, parse, analyze
 from repro.frontend.sema import BUILTINS
 from repro.icode.backend import IcodeBackend
@@ -118,8 +123,25 @@ class CompiledProgram:
         ``optimize_dynamic_ir``  run the IR optimizer on dynamic code too
         ``reorder_cspec_operands``  tcc's 5.1 heuristic (default True)
         ``compile_static``  compile pure-C functions at start (default True)
+        ``fallback``      retry failed ICODE installs on VCODE (default True)
+        ``spec_fuel``     spec-time interpreter step budget per ``run()``
+                          (None = unlimited)
+
+        When no ``machine`` is supplied, these options configure the fresh
+        one:
+
+        ``fuel``          watchdog cycle budget per call (None = unlimited)
+        ``icache``        an :class:`~repro.target.cpu.ICache` model
+        ``code_capacity`` code-segment capacity, in instructions
         """
-        return Process(self, machine or Machine(), options)
+        if machine is None:
+            machine_options = {
+                key: options[key]
+                for key in ("fuel", "icache", "code_capacity")
+                if key in options
+            }
+            machine = Machine(**machine_options)
+        return Process(self, machine, options)
 
     @property
     def functions(self):
@@ -315,11 +337,15 @@ class Process:
     def compile_closure(self, closure, ret_type) -> int:
         """The ``compile`` special form (tcc 4.4): run the CGF against a
         fresh back end, link the result, reset dynamic parameter state, and
-        return the entry address (the function pointer)."""
-        backend = self.make_backend()
-        ctx = EmitCtx(self.machine, self.cost, backend, ret_type,
-                      self.intern_string, self.options)
-        ctx.in_tick = True
+        return the entry address (the function pointer).
+
+        Graceful degradation: if ICODE instantiation dies mid-emit with a
+        :class:`CodegenError` or an exhausted code segment, the
+        half-emitted function is rolled back (code segment, heap, interned
+        strings, cost charges) and the closure is retried once on the
+        one-pass VCODE back end.  Successful fallbacks are recorded in
+        :mod:`repro.report` stats.
+        """
         # Bind dynamic parameters created via param().
         params = sorted(self.current_params, key=lambda v: v.index)
         indices = [v.index for v in params]
@@ -328,26 +354,67 @@ class Process:
                 f"dynamic parameters must use dense indices 0..n-1, got "
                 f"{indices}"
             )
-        n_int = n_float = 0
-        for vspec in params:
-            storage = backend.vspec_storage(vspec)
-            if vspec.cls == "f":
-                backend.bind_param(storage, n_float, "f")
-                n_float += 1
-            else:
-                backend.bind_param(storage, n_int, "i")
-                n_int += 1
-        value = closure.cgf.emit_into(ctx, closure)
-        if value is not None and not ret_type.is_void():
-            gen = CodeGen(ctx)
-            rv = gen.materialize(gen.convert(value, cls_of(ret_type)))
-            backend.ret(rv.handle, cls_of(ret_type))
-            gen.release(rv)
-        entry = backend.install()
+        try:
+            entry = self._instantiate(self.make_backend(), closure,
+                                      ret_type, params)
+        except (CodegenError, CodeSegmentExhausted) as primary:
+            if (self.backend_kind is not BackendKind.ICODE
+                    or not self.options.get("fallback", True)):
+                raise
+            fallback = VcodeBackend(
+                self.machine, self.cost,
+                allow_spills=self.options.get("allow_spills", True),
+            )
+            entry = self._instantiate(fallback, closure, ret_type, params)
+            from repro import report
+
+            report.record_fallback("icode", "vcode", str(primary))
         self.last_codegen_stats = self.cost.end_instantiation()
-        self.last_backend = backend
         self.compile_count += 1
         self.current_params = []
+        self.machine.code.note_function(
+            entry, f"{closure.cgf.label}#{self.compile_count}"
+        )
+        return entry
+
+    def _instantiate(self, backend, closure, ret_type, params) -> int:
+        """Run the CGF against ``backend`` inside a rollback scope: on any
+        failure the code segment, the heap, and the interned-string table
+        are restored, so a retry (or the caller) sees no half-emitted
+        state."""
+        machine = self.machine
+        machine.code.mark()
+        machine.memory.mark()
+        strings = dict(self._strings)
+        try:
+            ctx = EmitCtx(machine, self.cost, backend, ret_type,
+                          self.intern_string, self.options)
+            ctx.in_tick = True
+            n_int = n_float = 0
+            for vspec in params:
+                storage = backend.vspec_storage(vspec)
+                if vspec.cls == "f":
+                    backend.bind_param(storage, n_float, "f")
+                    n_float += 1
+                else:
+                    backend.bind_param(storage, n_int, "i")
+                    n_int += 1
+            value = closure.cgf.emit_into(ctx, closure)
+            if value is not None and not ret_type.is_void():
+                gen = CodeGen(ctx)
+                rv = gen.materialize(gen.convert(value, cls_of(ret_type)))
+                backend.ret(rv.handle, cls_of(ret_type))
+                gen.release(rv)
+            entry = backend.install()
+        except Exception:
+            machine.code.release()
+            machine.memory.release()
+            self._strings = strings
+            self.cost.begin_instantiation()  # discard partial charges
+            raise
+        machine.code.commit()
+        machine.memory.commit()
+        self.last_backend = backend
         return entry
 
     # -- running --------------------------------------------------------------------
@@ -357,6 +424,7 @@ class Process:
         fn = self.program.tu.functions.get(fn_name)
         if fn is None:
             raise TccError(f"no function named {fn_name!r}")
+        self.interp.reset_budget()
         return self.interp.call_function(fn, list(args))
 
     def function(self, entry: int, signature: str = "",

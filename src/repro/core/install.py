@@ -85,6 +85,8 @@ def install_function(machine, cost, body, labels, epilogue_label,
     segment.extend(epilogue)
     if name is not None:
         segment.define(name, entry)
+    # Install map: lets traps name the function containing a faulting pc.
+    segment.note_function(entry, name or f"fn@{entry}")
     if do_link:
         patched = segment.link()
         if cost is not None:

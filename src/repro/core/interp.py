@@ -17,8 +17,10 @@ RAM, and generated code loads and stores through it.
 
 from __future__ import annotations
 
+import math
+
 from repro.core.cgf import dollar_key
-from repro.errors import RuntimeTccError
+from repro.errors import CycleBudgetExceeded, RuntimeTccError
 from repro.frontend import cast
 from repro.frontend import typesys as T
 from repro.frontend.sema import Builtin
@@ -153,6 +155,13 @@ class CellRef:
         self.cell.store(interp, value)
 
 
+#: Default spec-time step budget: statements executed per top-level
+#: :meth:`repro.core.driver.Process.run`.  Far above any benchmark's
+#: specification work, but finite, so a runaway loop in spec-time code
+#: traps instead of hanging the host.
+DEFAULT_SPEC_FUEL = 20_000_000
+
+
 class Interp:
     """Interprets type-checked `C functions at specification time.
 
@@ -166,6 +175,12 @@ class Interp:
         self.machine = process.machine
         self.memory = process.machine.memory
         self.globals = process.global_cells  # id(decl) -> Cell
+        self.reset_budget()
+
+    def reset_budget(self) -> None:
+        """Refill the spec-time step budget (``spec_fuel`` start option)."""
+        fuel = self.process.options.get("spec_fuel", DEFAULT_SPEC_FUEL)
+        self.steps_left = math.inf if fuel is None else fuel
 
     # -- typed memory access -------------------------------------------------
 
@@ -235,6 +250,12 @@ class Interp:
     # -- statements ----------------------------------------------------------------
 
     def exec_stmt(self, node, frame) -> None:
+        self.steps_left -= 1
+        if self.steps_left < 0:
+            raise CycleBudgetExceeded(
+                "spec-time step budget exceeded (runaway loop in "
+                "specification code?); raise with start(spec_fuel=...)"
+            )
         kind = type(node).__name__
         method = getattr(self, "_x_" + kind, None)
         if method is None:

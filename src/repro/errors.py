@@ -74,7 +74,75 @@ class CodegenError(RuntimeTccError):
 
 class MachineError(TccError):
     """Target-machine fault: bad memory access, illegal instruction,
-    runaway execution."""
+    runaway execution.
+
+    Every trap raised *during execution* carries the faulting ``pc``, the
+    disassembled ``instr`` text, and the ``function`` name from the code
+    segment's install map.  Traps raised outside execution (e.g. a bad
+    host-side :meth:`~repro.target.memory.Memory.load_word`) have those
+    fields as ``None`` until the CPU attaches context via
+    :meth:`attach_context`.
+    """
+
+    def __init__(self, message: str, pc: int | None = None,
+                 instr: str | None = None, function: str | None = None):
+        self.message = message
+        self.pc = pc
+        self.instr = instr
+        self.function = function
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        if self.pc is None:
+            return self.message
+        where = f"pc={self.pc}"
+        if self.instr:
+            where += f" `{self.instr}`"
+        if self.function:
+            where += f" in {self.function}"
+        return f"{self.message} [{where}]"
+
+    def attach_context(self, pc: int | None = None, instr: str | None = None,
+                       function: str | None = None) -> "MachineError":
+        """Fill in trap context the original raise site did not know
+        (e.g. a memory fault caught by the executing CPU)."""
+        if self.pc is None:
+            self.pc = pc
+        if self.instr is None:
+            self.instr = instr
+        if self.function is None:
+            self.function = function
+        self.args = (self._render(),)
+        return self
+
+
+class SegmentationFault(MachineError):
+    """Access to unmapped memory: the null guard page, the stack guard
+    gap, out-of-range addresses, or a pc outside the code segment."""
+
+
+class UnalignedAccess(MachineError):
+    """A word or double access at an address that is not 4-byte aligned."""
+
+
+class IllegalInstruction(MachineError):
+    """An instruction the CPU cannot execute: unknown opcode, malformed
+    operands, or an undefined operation such as division by zero."""
+
+
+class CycleBudgetExceeded(MachineError):
+    """The execution watchdog fired: a single ``run`` consumed more than
+    its cycle budget (a runaway generated loop, most likely)."""
+
+
+class CodeSegmentExhausted(MachineError):
+    """Code emission overflowed the code segment's capacity (or a fault
+    was injected to simulate that)."""
+
+
+class OutOfMemory(MachineError):
+    """The heap bump allocator ran out of room (or a fault was injected
+    to simulate that)."""
 
 
 class LinkError(TccError):

@@ -31,6 +31,27 @@ SERIES = [
     ("vcode", "gcc"),
 ]
 
+#: Graceful-degradation counters, fed by
+#: :meth:`repro.core.driver.Process.compile_closure` whenever a failed
+#: ICODE instantiation is successfully retried on VCODE.  ``events`` holds
+#: ``(from_backend, to_backend, reason)`` tuples in occurrence order.
+FALLBACK_STATS = {"count": 0, "events": []}
+
+
+def record_fallback(from_backend: str, to_backend: str, reason: str) -> None:
+    """Record one successful backend fallback."""
+    FALLBACK_STATS["count"] += 1
+    FALLBACK_STATS["events"].append((from_backend, to_backend, reason))
+
+
+def fallback_count() -> int:
+    return FALLBACK_STATS["count"]
+
+
+def reset_fallbacks() -> None:
+    FALLBACK_STATS["count"] = 0
+    FALLBACK_STATS["events"] = []
+
 
 def _series_results(app_names):
     out = {}

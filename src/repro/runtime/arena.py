@@ -32,6 +32,11 @@ class Arena:
         """Allocate ``nbytes``; returns a target address (or 0 if untracked)."""
         if nbytes < 0:
             raise RuntimeTccError("negative arena allocation")
+        if not isinstance(align, int) or align < 1 or align & (align - 1):
+            raise RuntimeTccError(
+                f"{self.name}: alignment {align!r} is not a positive "
+                f"power of two"
+            )
         self.allocations += 1
         self.bytes_allocated += nbytes
         if self.memory is not None:

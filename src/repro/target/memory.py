@@ -1,0 +1,217 @@
+"""Segmented, bounds-checked data memory.
+
+The data address space is separate from the code segment (the machine is
+Harvard-style).  Layout, low to high::
+
+    0          .. 4095         null guard page (never mapped)
+    4096       .. heap limit   heap, bump-allocated upward
+    heap limit .. stack base   stack guard gap
+    stack base .. size         stack, growing downward from ``size``
+
+Every access is bounds- and region-checked; violations raise
+:class:`~repro.errors.SegmentationFault`, and misaligned word accesses
+raise :class:`~repro.errors.UnalignedAccess`.  Heap exhaustion raises
+:class:`~repro.errors.OutOfMemory`.  All three are
+:class:`~repro.errors.MachineError` subclasses, so callers can catch the
+whole taxonomy at once.
+
+Allocation is a bump pointer with :meth:`Memory.mark` /
+:meth:`Memory.release` checkpoints (the substrate under
+:class:`~repro.runtime.arena.Arena`), plus a deterministic fault-injection
+hook (:meth:`Memory.inject_alloc_failure`) for testing recovery paths.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import (
+    MachineError,
+    OutOfMemory,
+    SegmentationFault,
+    UnalignedAccess,
+)
+
+#: Size of the unmapped page at address 0 (null-pointer dereferences trap).
+NULL_GUARD = 4096
+
+#: Size of the unmapped gap between the heap limit and the stack base.
+STACK_GUARD = 256
+
+
+class Memory:
+    """Byte-addressed target data memory with a bump-allocated heap."""
+
+    def __init__(self, size: int = 1 << 22, stack_size: int = 1 << 16):
+        if size <= NULL_GUARD + STACK_GUARD + stack_size:
+            raise MachineError(
+                f"memory size {size} too small for stack size {stack_size}"
+            )
+        self.size = size
+        self.stack_size = stack_size
+        self.stack_top = size & ~15          # initial SP, 16-aligned
+        self.stack_base = size - stack_size
+        self.heap_base = NULL_GUARD
+        self.heap_limit = self.stack_base - STACK_GUARD
+        self._data = bytearray(size)
+        self._ptr = self.heap_base
+        self._marks: list = []
+        self._fail_alloc_in = None   # one-shot injected alloc failure countdown
+
+    # -- allocation -------------------------------------------------------------
+
+    def alloc(self, nbytes: int, align: int = 4) -> int:
+        """Bump-allocate ``nbytes`` from the heap; returns the address."""
+        if nbytes < 0:
+            raise MachineError(f"negative allocation ({nbytes} bytes)")
+        if align < 1 or align & (align - 1):
+            raise MachineError(
+                f"alignment {align!r} is not a positive power of two"
+            )
+        if self._fail_alloc_in is not None:
+            self._fail_alloc_in -= 1
+            if self._fail_alloc_in <= 0:
+                self._fail_alloc_in = None
+                raise OutOfMemory(
+                    "injected allocation failure (fault injection)"
+                )
+        addr = (self._ptr + align - 1) & ~(align - 1)
+        if addr + nbytes > self.heap_limit:
+            raise OutOfMemory(
+                f"heap exhausted: {nbytes} bytes requested, "
+                f"{self.heap_limit - self._ptr} available"
+            )
+        self._ptr = addr + max(nbytes, 1)
+        return addr
+
+    def inject_alloc_failure(self, nth: int = 1) -> None:
+        """Deterministic fault injection: make the ``nth`` allocation from
+        now raise :class:`OutOfMemory` (one-shot, seed-free)."""
+        if nth < 1:
+            raise ValueError("nth must be >= 1")
+        self._fail_alloc_in = nth
+
+    def mark(self) -> None:
+        """Push an allocation checkpoint for a later :meth:`release`."""
+        self._marks.append(self._ptr)
+
+    def release(self) -> None:
+        """Free every allocation made since the matching :meth:`mark`."""
+        if not self._marks:
+            raise MachineError("memory: release without mark")
+        ptr = self._marks.pop()
+        self._data[ptr:self._ptr] = bytes(self._ptr - ptr)
+        self._ptr = ptr
+
+    def commit(self) -> None:
+        """Drop the innermost checkpoint, keeping its allocations."""
+        if not self._marks:
+            raise MachineError("memory: commit without mark")
+        self._marks.pop()
+
+    # -- access checks ----------------------------------------------------------
+
+    def _check(self, addr, width: int, what: str) -> int:
+        if not isinstance(addr, int):
+            raise SegmentationFault(f"{what} at non-address {addr!r}")
+        if addr < 0 or addr + width > self.size:
+            raise SegmentationFault(
+                f"{what} of {width} bytes at {addr:#x} is out of range "
+                f"(memory size {self.size:#x})"
+            )
+        if addr < NULL_GUARD:
+            raise SegmentationFault(
+                f"{what} of {width} bytes at {addr:#x} hits the null guard "
+                f"page"
+            )
+        if self.heap_limit <= addr < self.stack_base:
+            raise SegmentationFault(
+                f"{what} of {width} bytes at {addr:#x} hits the stack guard "
+                f"gap ({self.heap_limit:#x}..{self.stack_base:#x})"
+            )
+        return addr
+
+    def _check_aligned(self, addr: int, width: int, what: str) -> int:
+        self._check(addr, width, what)
+        if addr % 4:
+            raise UnalignedAccess(
+                f"unaligned {what} of {width} bytes at {addr:#x} "
+                f"(4-byte alignment required)"
+            )
+        return addr
+
+    # -- scalar access ----------------------------------------------------------
+
+    def load_word(self, addr: int) -> int:
+        addr = self._check_aligned(addr, 4, "load")
+        return int.from_bytes(self._data[addr:addr + 4], "little", signed=True)
+
+    def store_word(self, addr: int, value: int) -> None:
+        addr = self._check_aligned(addr, 4, "store")
+        self._data[addr:addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    def load_byte(self, addr: int) -> int:
+        addr = self._check(addr, 1, "load")
+        value = self._data[addr]
+        return value - 256 if value >= 128 else value
+
+    def load_byte_unsigned(self, addr: int) -> int:
+        addr = self._check(addr, 1, "load")
+        return self._data[addr]
+
+    def store_byte(self, addr: int, value: int) -> None:
+        addr = self._check(addr, 1, "store")
+        self._data[addr] = value & 0xFF
+
+    def load_double(self, addr: int) -> float:
+        addr = self._check_aligned(addr, 8, "load")
+        return struct.unpack_from("<d", self._data, addr)[0]
+
+    def store_double(self, addr: int, value: float) -> None:
+        addr = self._check_aligned(addr, 8, "store")
+        struct.pack_into("<d", self._data, addr, float(value))
+
+    # -- bulk helpers -----------------------------------------------------------
+
+    def alloc_words(self, values) -> int:
+        values = list(values)
+        addr = self.alloc(4 * max(len(values), 1), align=4)
+        for i, value in enumerate(values):
+            self.store_word(addr + 4 * i, value)
+        return addr
+
+    def read_words(self, addr: int, count: int) -> list:
+        return [self.load_word(addr + 4 * i) for i in range(count)]
+
+    def alloc_bytes(self, payload: bytes) -> int:
+        addr = self.alloc(max(len(payload), 1), align=1)
+        self.write_bytes(addr, payload)
+        return addr
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        if payload:
+            self._check(addr, len(payload), "store")
+            self._data[addr:addr + len(payload)] = payload
+
+    def read_bytes(self, addr: int, count: int) -> bytes:
+        if count == 0:
+            return b""
+        self._check(addr, count, "load")
+        return bytes(self._data[addr:addr + count])
+
+    def alloc_cstring(self, text: str) -> int:
+        return self.alloc_bytes(text.encode("utf-8") + b"\x00")
+
+    def read_cstring(self, addr: int) -> str:
+        self._check(addr, 1, "load")
+        end = self._data.find(b"\x00", addr)
+        if end < 0:
+            raise SegmentationFault(
+                f"unterminated string at {addr:#x} runs off memory"
+            )
+        return self._data[addr:end].decode("utf-8")
+
+    def __repr__(self) -> str:
+        return (f"<Memory {self.size} bytes, heap "
+                f"{self._ptr - self.heap_base}/{self.heap_limit - self.heap_base} "
+                f"used>")

@@ -1,5 +1,6 @@
 """The example scripts run end to end and print what they promise."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -7,14 +8,21 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
 def run_example(name: str) -> str:
+    # The subprocess does not inherit pytest's ``pythonpath`` ini setting.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=240,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     return result.stdout

@@ -35,7 +35,10 @@ def statements(draw, depth=0):
     if kind == 4:
         body = draw(statements(depth=depth + 1))
         n = draw(st.integers(1, 6))
-        return f"for (i = 0; i < {n}; i++) {{ {body} }}"
+        # One induction variable per nesting depth: an inner loop reusing
+        # the outer loop's variable resets it and may never terminate.
+        lv = "ij"[depth]
+        return f"for ({lv} = 0; {lv} < {n}; {lv}++) {{ {body} }}"
     body = draw(statements(depth=depth + 1))
     return f"{{ {body} {v} = {v} ^ {k}; }}"
 
@@ -52,7 +55,7 @@ def programs(draw):
 def test_program_agreement(body, a, b, c):
     src = f"""
     int f(int a, int b, int c) {{
-        int i;
+        int i, j;
         {body}
         return a * 3 + b * 5 + c * 7;
     }}
@@ -61,7 +64,7 @@ def test_program_agreement(body, a, b, c):
         int vspec b = param(int, 1);
         int vspec c = param(int, 2);
         void cspec code = `{{
-            int i;
+            int i, j;
             {body}
             return a * 3 + b * 5 + c * 7;
         }};
@@ -89,7 +92,7 @@ def test_unrolled_loop_agrees_with_dynamic_loop(body, n, a):
     int build_unrolled(int n) {{
         int vspec a = param(int, 0);
         void cspec code = `{{
-            int k, b, c, i;
+            int k, b, c, i, j;
             b = a; c = a;
             for (k = 0; k < $n; k++) {{ {body} }}
             return a + b * 2 + c * 3 + k;
@@ -100,7 +103,7 @@ def test_unrolled_loop_agrees_with_dynamic_loop(body, n, a):
         int vspec a = param(int, 0);
         int vspec n = param(int, 1);
         void cspec code = `{{
-            int k, b, c, i;
+            int k, b, c, i, j;
             b = a; c = a;
             for (k = 0; k < n; k++) {{ {body} }}
             return a + b * 2 + c * 3 + k;
