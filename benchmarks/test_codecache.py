@@ -1,0 +1,171 @@
+"""Dynamic-code reuse: cold vs warm (Tier-1 memo) vs patched (Tier-2
+copy-and-patch) instantiation cost over the Table 1 kernels.
+
+For each kernel and back end, one process compiles the same closure three
+ways:
+
+* **cold** — first instantiation: the full closure-walk + back-end
+  pipeline, with the patch recorder riding along;
+* **warm** — the same ``$`` bindings again: a Tier-1 memo hit (one cache
+  probe, zero back-end work) — the free-variable kernels re-bind fresh
+  addresses each call, so they go through Tier-2 instead;
+* **patched** — a different ``$`` seed: a Tier-2 template clone + hole
+  patch, skipping lowering and register allocation entirely.
+
+Results (modeled codegen cycles per instruction plus host wall time) are
+written to ``BENCH_codecache.json``; the headline acceptance numbers are a
+warm hit costing zero back-end emit cycles and a patched ICODE kernel at
+least 5x cheaper than a cold ICODE compile.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import report
+from repro.apps.table1 import TABLE1_ROWS
+from repro.core.driver import TccCompiler
+from repro.runtime.costmodel import Phase
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_codecache.json"
+
+#: Phases a Tier-1 hit must never charge: every back-end stage.
+_BACKEND_PHASES = (
+    Phase.EMIT, Phase.IR, Phase.FLOWGRAPH, Phase.LIVENESS, Phase.INTERVALS,
+    Phase.REGALLOC, Phase.TRANSLATE, Phase.LINK, Phase.PATCH,
+)
+
+_RESULTS: dict = {"kernels": {}}
+
+
+def _run(proc, seed):
+    before = report.cache_stats()
+    t0 = time.perf_counter()
+    entry = proc.run("build", seed)
+    wall = time.perf_counter() - t0
+    after = report.cache_stats()
+    if after["hits"] > before["hits"]:
+        kind = "hit"
+    elif after["patched"] > before["patched"]:
+        kind = "patched"
+    else:
+        kind = "cold"
+    stats = proc.last_codegen_stats
+    return {
+        "entry": entry,
+        "kind": kind,
+        "stats": stats,
+        "cycles": stats.total_cycles(),
+        "cpi": stats.cycles_per_instruction(),
+        "wall_s": wall,
+    }
+
+
+def _measure_kernel(source, backend):
+    program = TccCompiler().compile(source, filename="<codecache-bench>")
+    proc = program.start(backend=backend)  # the cache defaults to on
+    cold = _run(proc, 5)
+    warm = _run(proc, 5)
+    patched = _run(proc, 7)
+    return proc, cold, warm, patched
+
+
+@pytest.mark.parametrize(
+    "row_name,factory", list(TABLE1_ROWS.items()),
+    ids=[r.replace(" ", "-").replace(",", "") for r in TABLE1_ROWS],
+)
+@pytest.mark.parametrize("backend", ["vcode", "icode"])
+def test_codecache_reuse(row_name, factory, backend):
+    report.reset()
+    source = factory()
+    proc, cold, warm, patched = _measure_kernel(source, backend)
+
+    assert cold["kind"] == "cold"
+    assert warm["kind"] in ("hit", "patched")
+    assert patched["kind"] in ("hit", "patched", "cold")
+
+    # Warm Tier-1 hits cost zero back-end cycles: only the cache probe.
+    if warm["kind"] == "hit":
+        for phase in _BACKEND_PHASES:
+            assert warm["stats"].cycles.get(phase, 0) == 0, phase
+        assert warm["stats"].generated_instructions == 0
+        assert warm["stats"].events[(Phase.CLOSURE, "cache_probe")] == 1
+
+    # Any reuse is far cheaper than the cold compile it replaces.
+    if warm["kind"] != "cold":
+        assert warm["cycles"] * 5 <= cold["cycles"]
+    if patched["kind"] == "patched":
+        assert patched["cpi"] * 5 <= cold["cpi"]
+
+    # Patched code executes identically to a cold compile of the same seed.
+    if patched["kind"] == "patched":
+        cold_proc = TccCompiler().compile(source).start(
+            backend=backend, codecache=False)
+        cold_entry = cold_proc.run("build", 7)
+        f_patched = proc.function(patched["entry"], "i", "i")
+        f_cold = cold_proc.function(cold_entry, "i", "i")
+        for arg in (0, 1, 9):
+            assert f_patched(arg) == f_cold(arg)
+
+    entry = _RESULTS["kernels"].setdefault(row_name, {})
+    entry[backend] = {
+        stage: {
+            "kind": r["kind"],
+            "modeled_cycles": r["cycles"],
+            "cycles_per_instruction": round(r["cpi"], 2),
+            "wall_s": round(r["wall_s"], 6),
+        }
+        for stage, r in (("cold", cold), ("warm", warm),
+                         ("patched", patched))
+    }
+    entry[backend]["counters"] = report.cache_stats()
+
+
+def test_patched_icode_at_least_5x_cheaper(benchmark):
+    """Acceptance headline: Tier-2 patching a Table 1 kernel costs >=5x
+    fewer cost-model codegen cycles per instruction than cold ICODE."""
+    report.reset()
+    source = TABLE1_ROWS["one large cspec, dynamic locals"]()
+
+    def measure():
+        return _measure_kernel(source, "icode")
+
+    _proc, cold, warm, patched = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    assert warm["kind"] == "hit"
+    assert patched["kind"] == "patched"
+    speedup = cold["cpi"] / patched["cpi"]
+    assert speedup >= 5.0, speedup
+    assert report.cache_stats()["cycles_saved"] > 0
+    benchmark.extra_info["cold_cpi"] = round(cold["cpi"], 1)
+    benchmark.extra_info["patched_cpi"] = round(patched["cpi"], 1)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    _RESULTS["patched_speedup_vs_cold_icode"] = round(speedup, 2)
+
+
+def test_warm_hit_wall_time(benchmark):
+    """Host wall time of a warm Tier-1 re-instantiation."""
+    source = TABLE1_ROWS["one large cspec, dynamic locals"]()
+    program = TccCompiler().compile(source)
+    proc = program.start(backend="icode")
+    proc.run("build", 5)  # prime the cache
+
+    entry = benchmark(lambda: proc.run("build", 5))
+    assert isinstance(entry, int)
+
+
+def test_write_bench_json():
+    """Persist the reuse matrix (runs after the kernels above)."""
+    assert _RESULTS["kernels"], "reuse benchmarks did not run"
+    payload = dict(_RESULTS)
+    payload["description"] = (
+        "Specialization-cache benchmark: modeled codegen cycles and host "
+        "wall time, cold vs warm (Tier-1) vs patched (Tier-2), per Table 1 "
+        "kernel and back end."
+    )
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    assert BENCH_PATH.exists()

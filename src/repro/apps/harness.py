@@ -39,6 +39,10 @@ def measure(app: App, backend: str = "icode", regalloc: str = "linear",
     prog = _program(app)
 
     # Dynamic side: fresh machine, build + instantiate, then time one run.
+    # The specialization cache is disabled: the paper's figures measure
+    # cold code-generation cost (benchmarks/test_codecache.py measures the
+    # warm/patched paths).
+    extra_options.setdefault("codecache", False)
     proc = prog.start(backend=backend, regalloc=regalloc, **extra_options)
     ctx = app.setup(proc)
     entry = proc.run(app.builder, *app.builder_args(ctx))

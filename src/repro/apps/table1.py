@@ -108,14 +108,17 @@ TABLE1_ROWS = {
 
 
 def run_row(source: str, backend: str, regalloc: str = "linear",
-            seed: int = 5):
+            seed: int = 5, **options):
     """Compile+instantiate one workload; return (stats, result_fn, process).
 
     ``stats`` is the :class:`~repro.runtime.costmodel.CodegenStats` of the
     whole build (closure creation included, as the paper counts it).
     """
     program = TccCompiler().compile(source, filename="<table1>")
-    process = program.start(backend=backend, regalloc=regalloc)
+    # Cold codegen cost, as the paper measures it; the codecache
+    # benchmarks re-enable reuse explicitly.
+    options.setdefault("codecache", False)
+    process = program.start(backend=backend, regalloc=regalloc, **options)
     entry = process.run("build", seed)
     fn = process.function(entry, "i", "i")
     return process.cost.lifetime, fn, process

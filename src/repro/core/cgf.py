@@ -56,6 +56,7 @@ class CGF:
 
     def _bind_environment(self, ctx, closure) -> None:
         ctx.in_tick = True
+        rec = ctx.recorder
         for cap in self.tick.captures.values():
             try:
                 value = closure.slots[cap.name]
@@ -65,11 +66,17 @@ class CGF:
                     f"{cap.name!r}"
                 ) from None
             decl = cap.decl
+            # Tag $ values and free-variable addresses with their patch-hole
+            # provenance (see codecache.py) without mutating the closure.
+            if rec is not None and cap.kind in (CaptureKind.FREEVAR,
+                                                CaptureKind.RTCONST):
+                value = rec.tag((id(closure), cap.name), value)
             if cap.kind is CaptureKind.FREEVAR:
                 ty = decl.ty
                 elem_ty = ty.base if ty.is_array() else ty
+                addr = value if isinstance(value, int) else int(value)
                 ctx.env[id(decl)] = MemLV(
-                    None, int(value), width_of(elem_ty), cls_of(elem_ty)
+                    None, addr, width_of(elem_ty), cls_of(elem_ty)
                 )
             elif cap.kind is CaptureKind.RTCONST:
                 ctx.rtconst_values[id(decl)] = value
@@ -92,7 +99,10 @@ class CGF:
                     raise RuntimeTccError(
                         f"closure for {self.label} is missing $-slot {key}"
                     )
-                ctx.dollar_values[dollar.slot] = closure.slots[key]
+                value = closure.slots[key]
+                if rec is not None:
+                    value = rec.tag((id(closure), key), value)
+                ctx.dollar_values[dollar.slot] = value
 
     def __repr__(self) -> str:
         return f"<CGF {self.label}>"

@@ -1,0 +1,497 @@
+"""Two-tier dynamic-code reuse for ``compile()`` (specialization cache).
+
+tcc pays the full closure-walk + lowering + register-allocation price on
+every ``compile()`` even when the same cspec is re-instantiated with the
+same — or nearly the same — ``$`` bindings.  This module recovers that cost
+in two tiers, in the spirit of Copy-and-Patch (Xu & Kjolstad 2021) and
+TPDE:
+
+Tier 1 (memoization)
+    Instantiations are content-addressed by a :class:`ClosureSignature`
+    (see ``runtime/closures.py``): the CGF identity, the backend kind and
+    every codegen option, the captured ``$`` values, the free-variable
+    addresses, and the vspec parameter layout.  A hit returns the
+    previously installed entry address without touching the back end at
+    all; the only cost is one ``(CLOSURE, "cache_probe")`` charge.
+
+Tier 2 (template fast path)
+    During a cold miss a :class:`PatchRecorder` rides along with the emit
+    context.  Run-time-constant values are tagged at bind time with their
+    *origin* (their slot in the signature's value tuple) via the
+    :class:`PatchImm` / :class:`PatchFloat` carriers — transparent ``int``
+    / ``float`` subclasses that survive being stored as instruction
+    operands.  Every place where the partial evaluator lets such a value
+    steer a specialization decision (a folded branch, an unrolling bound,
+    a strength-reduction choice, an emission-time memory read, ...) *pins*
+    the origin.  After install, the recorder scans the installed body: a
+    tagged operand becomes a *patch hole* ``value = wrap32(origin * scale
+    + addend)``; a :class:`Label` operand becomes a relocation.  The
+    resulting :class:`CodeTemplate` can then be cloned for a later
+    instantiation whose bindings differ only in unpinned hole origins:
+    the body is copied instruction-by-instruction through the ordinary
+    ``CodeSegment.emit`` path (so capacity checks and fault injection
+    still apply), holes are re-patched and label operands relocated —
+    lowering and regalloc are skipped entirely.
+
+Soundness rests on the certification rule: an origin is patchable only if
+it produced at least one hole and was never pinned.  Any origin that fails
+that test must match the template's recorded value exactly.  Emission-time
+memory reads (``$arr[k]`` folds) additionally record *guards* — (address,
+width, value) triples re-checked before either tier reuses an entry.
+
+Entries are invalidated when the code segment rolls back past them, when
+an emit fault is injected, or when the segment is reset (see
+``CodeSegment.add_invalidation_listener``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.operands import FuncRef
+from repro.runtime.closures import ClosureSignature, signature_of
+from repro.runtime.costmodel import Phase
+from repro.target.isa import Instruction, wrap32
+from repro.target.program import Label
+
+__all__ = [
+    "PatchImm",
+    "PatchFloat",
+    "imm_int",
+    "imm_float",
+    "origin_of",
+    "PatchRecorder",
+    "CodeTemplate",
+    "CacheEntry",
+    "CodeCache",
+    "signature_of",
+    "ClosureSignature",
+]
+
+#: Tier-1 memo capacity (entries, FIFO eviction).
+MEMO_CAPACITY = 512
+#: Tier-2 templates retained per closure shape.
+TEMPLATES_PER_SHAPE = 8
+#: Modeled bytes patched per hole (one 32-bit immediate field).
+BYTES_PER_HOLE = 4
+
+
+class PatchImm(int):
+    """An ``int`` carrying patch-hole provenance.
+
+    Behaves exactly like its plain value everywhere (arithmetic, equality,
+    hashing, struct packing); the extra attributes record that the value
+    is the affine image ``wrap32(origin_value * scale + addend)`` of the
+    signature value at index ``origin``.  Any Python arithmetic on it
+    returns a plain ``int`` — transform sites that want to keep the tag
+    must go through the recorder's preserve helpers.
+    """
+
+    # (no __slots__: variable-length base types don't allow them)
+
+    def __new__(cls, value, origin, scale=1, addend=0):
+        self = super().__new__(cls, value)
+        self.origin = origin
+        self.scale = scale
+        self.addend = addend
+        return self
+
+
+class PatchFloat(float):
+    """A ``float`` carrying patch-hole provenance (identity mapping only:
+    any arithmetic drops the tag, and the folding sites then pin the
+    origin)."""
+
+    __slots__ = ("origin",)
+
+    def __new__(cls, value, origin):
+        self = super().__new__(cls, value)
+        self.origin = origin
+        return self
+
+
+def imm_int(value):
+    """``int()`` that keeps a :class:`PatchImm` tag intact."""
+    if isinstance(value, int):
+        return value
+    return int(value)
+
+
+def imm_float(value):
+    """``float()`` that keeps a :class:`PatchFloat` tag intact."""
+    if isinstance(value, float):
+        return value
+    return float(value)
+
+
+def origin_of(value):
+    """The origin index of a tagged value, or None for plain values."""
+    if isinstance(value, (PatchImm, PatchFloat)):
+        return value.origin
+    return None
+
+
+class PatchRecorder:
+    """Rides along with one cold instantiation, tracking provenance.
+
+    The driver creates one per cacheable miss and threads it through the
+    emit context and the back end.  The lowering layer calls
+    :meth:`touch` / :meth:`pin` / the preserve helpers as it folds
+    run-time constants; ``install_function`` calls :meth:`scan_installed`
+    (pre-link, while Label operands are still live objects) and
+    :meth:`snapshot` (post-link) to capture the template.
+    """
+
+    def __init__(self, signature: ClosureSignature):
+        self.signature = signature
+        self.pinned = set()          # origin indices whose value steered codegen
+        self.guards = []             # (addr, width_code, value) emission-time reads
+        self.disabled = False
+        self.disabled_reason = None
+        # template capture (filled by scan_installed/snapshot)
+        self.entry = None
+        self.n_instructions = 0
+        self.holes = []              # (rel_idx, field, origin, scale, addend, is_float)
+        self.relocs = []             # (rel_idx, field) — Label operands, shift by delta
+        self.instructions = None     # post-link plain-valued copy of the body
+
+    # -- provenance bookkeeping ------------------------------------------
+
+    def tag(self, name_key, value):
+        """Wrap a signature value in its provenance carrier at bind time."""
+        origin = self.signature.origin_map.get(name_key)
+        if origin is None:
+            return value
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int):
+            return PatchImm(value, origin)
+        if isinstance(value, float):
+            return PatchFloat(value, origin)
+        return value
+
+    def pin(self, origin) -> None:
+        if origin is not None:
+            self.pinned.add(origin)
+
+    def pin_value(self, value) -> None:
+        self.pin(origin_of(value))
+
+    def note_guard(self, addr, width_code, value) -> None:
+        self.guards.append((int(addr), width_code, value))
+
+    def disable(self, reason: str) -> None:
+        """Give up on caching this instantiation entirely (e.g. it
+        allocated per-instantiation data memory that reuse would alias)."""
+        self.disabled = True
+        self.disabled_reason = reason
+
+    # -- affine-preserving folds -----------------------------------------
+
+    def fold_binary(self, op, lhs, rhs, result):
+        """Re-tag ``result`` (the plain fold of ``lhs op rhs``) when the
+        fold is affine in exactly one tagged integer input; pin every
+        tagged input whose provenance the result does not carry."""
+        tagged = result
+        l_org, r_org = origin_of(lhs), origin_of(rhs)
+        if isinstance(result, int) and not isinstance(result, bool):
+            if (isinstance(lhs, PatchImm) and r_org is None
+                    and isinstance(rhs, int) and not isinstance(rhs, float)):
+                if op == "+":
+                    tagged = PatchImm(result, lhs.origin, lhs.scale,
+                                      lhs.addend + int(rhs))
+                elif op == "-":
+                    tagged = PatchImm(result, lhs.origin, lhs.scale,
+                                      lhs.addend - int(rhs))
+                elif op == "*":
+                    tagged = PatchImm(result, lhs.origin,
+                                      lhs.scale * int(rhs),
+                                      lhs.addend * int(rhs))
+            elif (isinstance(rhs, PatchImm) and l_org is None
+                    and isinstance(lhs, int) and not isinstance(lhs, float)):
+                if op == "+":
+                    tagged = PatchImm(result, rhs.origin, rhs.scale,
+                                      rhs.addend + int(lhs))
+                elif op == "-":
+                    tagged = PatchImm(result, rhs.origin, -rhs.scale,
+                                      int(lhs) - rhs.addend)
+                elif op == "*":
+                    tagged = PatchImm(result, rhs.origin,
+                                      rhs.scale * int(lhs),
+                                      rhs.addend * int(lhs))
+        res_org = origin_of(tagged)
+        for org in (l_org, r_org):
+            if org is not None and org != res_org:
+                self.pin(org)
+        return tagged
+
+    def shift(self, value, delta):
+        """value + delta, tag-preserving (delta a plain int)."""
+        if isinstance(value, PatchImm):
+            return PatchImm(wrap32(int(value) + delta), value.origin,
+                            value.scale, value.addend + delta)
+        return wrap32(int(value) + delta)
+
+    def scale(self, value, k):
+        """value * k, tag-preserving (k a plain int)."""
+        if isinstance(value, PatchImm):
+            return PatchImm(wrap32(int(value) * k), value.origin,
+                            value.scale * k, value.addend * k)
+        return wrap32(int(value) * k)
+
+    def negate(self, value):
+        if isinstance(value, PatchImm):
+            return PatchImm(wrap32(-int(value)), value.origin,
+                            -value.scale, -value.addend)
+        return wrap32(-int(value))
+
+    # -- template capture -------------------------------------------------
+
+    def scan_installed(self, segment, entry) -> None:
+        """Pre-link pass over the installed range: record Label operand
+        positions (relocations) and tagged-operand positions (holes)."""
+        self.entry = entry
+        body = segment.instructions[entry:]
+        self.n_instructions = len(body)
+        for rel, instr in enumerate(body):
+            for field in ("a", "b", "c"):
+                operand = getattr(instr, field)
+                if isinstance(operand, Label):
+                    self.relocs.append((rel, field))
+                elif isinstance(operand, PatchImm):
+                    self.holes.append((rel, field, operand.origin,
+                                       operand.scale, operand.addend, False))
+                elif isinstance(operand, PatchFloat):
+                    self.holes.append((rel, field, operand.origin, 1, 0, True))
+
+    def snapshot(self, segment) -> None:
+        """Post-link copy of the installed body with tags stripped to
+        plain operand values (Labels are resolved to ints by now)."""
+        if self.entry is None:
+            return
+        copied = []
+        for instr in segment.instructions[self.entry:]:
+            ops = []
+            for field in ("a", "b", "c"):
+                v = getattr(instr, field)
+                if isinstance(v, PatchImm):
+                    v = int.__int__(v)
+                elif isinstance(v, PatchFloat):
+                    v = float.__float__(v)
+                ops.append(v)
+            copied.append(Instruction(instr.op, *ops))
+        self.instructions = copied
+
+    def patchable_origins(self):
+        """Origins certified for Tier-2 patching: produced at least one
+        hole and never steered a specialization decision."""
+        holed = {h[2] for h in self.holes}
+        return frozenset(holed - self.pinned)
+
+
+class CacheEntry:
+    """One Tier-1 memo entry: an installed function address."""
+
+    __slots__ = ("entry", "end", "guards", "cold_cycles")
+
+    def __init__(self, entry, end, guards, cold_cycles):
+        self.entry = entry
+        self.end = end              # segment length just after install
+        self.guards = guards
+        self.cold_cycles = cold_cycles
+
+
+class CodeTemplate:
+    """One Tier-2 template: a relocatable, patchable installed body."""
+
+    __slots__ = ("values", "patchable", "holes", "relocs", "instructions",
+                 "entry", "end", "guards", "cold_cycles")
+
+    def __init__(self, recorder: PatchRecorder, end, cold_cycles):
+        self.values = recorder.signature.values
+        self.patchable = recorder.patchable_origins()
+        self.holes = recorder.holes
+        self.relocs = recorder.relocs
+        self.instructions = recorder.instructions
+        self.entry = recorder.entry
+        self.end = end
+        self.guards = recorder.guards
+        self.cold_cycles = cold_cycles
+
+    def matches(self, signature: ClosureSignature) -> bool:
+        """Every origin must carry the template's exact value unless it is
+        a certified patch hole."""
+        values = signature.values
+        if len(values) != len(self.values):
+            return False
+        for idx, (new, old) in enumerate(zip(values, self.values)):
+            if idx in self.patchable:
+                if isinstance(new, float) != isinstance(old, float):
+                    return False
+                continue
+            if not _value_eq(new, old):
+                return False
+        return True
+
+
+def _value_eq(a, b) -> bool:
+    if isinstance(a, float) != isinstance(b, float):
+        return False
+    if isinstance(a, float):
+        # bit-compare so -0.0 vs 0.0 and NaNs never alias
+        import struct
+        return struct.pack(">d", a) == struct.pack(">d", b)
+    return a == b
+
+
+def _guards_hold(guards, memory) -> bool:
+    from repro.errors import MachineError
+    for addr, width, expected in guards:
+        try:
+            if width == "d":
+                actual = memory.load_double(addr)
+            elif width == "b":
+                actual = memory.load_byte(addr)
+            elif width == "bu":
+                actual = memory.load_byte_unsigned(addr)
+            else:
+                actual = memory.load_word(addr)
+        except MachineError:
+            return False
+        if actual != expected and not (actual != actual and expected != expected):
+            return False
+    return True
+
+
+class CodeCache:
+    """Per-process store of Tier-1 memo entries and Tier-2 templates."""
+
+    def __init__(self, enabled=True, templates_enabled=True,
+                 memo_capacity=MEMO_CAPACITY,
+                 templates_per_shape=TEMPLATES_PER_SHAPE):
+        self.enabled = enabled
+        self.templates_enabled = templates_enabled
+        self.memo_capacity = memo_capacity
+        self.templates_per_shape = templates_per_shape
+        self._memo = OrderedDict()   # (shape_key, values_key) -> CacheEntry
+        self._templates = {}         # shape_key -> [CodeTemplate, ...]
+
+    # -- lookups ----------------------------------------------------------
+
+    def lookup(self, signature, memory):
+        """Tier-1 probe: exact-key hit with guards still holding."""
+        entry = self._memo.get(signature.key)
+        if entry is None:
+            return None
+        if not _guards_hold(entry.guards, memory):
+            del self._memo[signature.key]
+            return None
+        return entry
+
+    def match_template(self, signature, memory):
+        """Tier-2 probe: a same-shape template whose non-hole values all
+        match and whose guards still hold."""
+        if not self.templates_enabled:
+            return None
+        for template in self._templates.get(signature.shape_key, ()):
+            if template.matches(signature) and _guards_hold(template.guards,
+                                                            memory):
+                return template
+        return None
+
+    # -- stores -----------------------------------------------------------
+
+    def store(self, signature, recorder, entry, end, cold_cycles) -> None:
+        """Record a completed cold instantiation in both tiers."""
+        if not self.enabled or recorder is None or recorder.disabled:
+            return
+        self._memo_put(signature.key,
+                       CacheEntry(entry, end, list(recorder.guards),
+                                  cold_cycles))
+        if (self.templates_enabled and recorder.instructions is not None
+                and recorder.patchable_origins()):
+            bucket = self._templates.setdefault(signature.shape_key, [])
+            bucket.append(CodeTemplate(recorder, end, cold_cycles))
+            if len(bucket) > self.templates_per_shape:
+                bucket.pop(0)
+
+    def store_patched(self, signature, template, entry, end) -> None:
+        """A Tier-2 clone is itself a valid Tier-1 entry for its key."""
+        if not self.enabled:
+            return
+        self._memo_put(signature.key,
+                       CacheEntry(entry, end, list(template.guards),
+                                  template.cold_cycles))
+
+    def _memo_put(self, key, entry) -> None:
+        self._memo[key] = entry
+        while len(self._memo) > self.memo_capacity:
+            self._memo.popitem(last=False)
+
+    # -- Tier-2 instantiation ---------------------------------------------
+
+    def instantiate_template(self, template, signature, machine, cost):
+        """Clone a template at the current segment cursor, patching holes
+        and relocating label operands.  Emits through ``segment.emit`` so
+        capacity checks and fault injection behave exactly as they would
+        for a cold compile; the caller wraps this in mark()/release()."""
+        segment = machine.code
+        new_entry = segment.here
+        delta = new_entry - template.entry
+        patch_map = {}
+        for rel, field in template.relocs:
+            patch_map.setdefault(rel, []).append((field, None))
+        for rel, field, org, scl, add, is_float in template.holes:
+            patch_map.setdefault(rel, []).append((field,
+                                                  (org, scl, add, is_float)))
+        values = signature.values
+        for rel, src in enumerate(template.instructions):
+            ops = {"a": src.a, "b": src.b, "c": src.c}
+            for field, hole in patch_map.get(rel, ()):
+                if hole is None:
+                    ops[field] = ops[field] + delta
+                else:
+                    org, scl, add, is_float = hole
+                    raw = values[org]
+                    if is_float:
+                        ops[field] = float(raw)
+                    else:
+                        ops[field] = wrap32(int(raw) * scl + add)
+            segment.emit(Instruction(src.op, ops["a"], ops["b"], ops["c"]))
+        cost.charge(Phase.PATCH, "copy_instr", len(template.instructions))
+        if template.holes:
+            cost.charge(Phase.PATCH, "hole", len(template.holes))
+        if template.guards:
+            cost.charge(Phase.PATCH, "guard", len(template.guards))
+        cost.note_instruction(len(template.instructions))
+        return new_entry
+
+    # -- invalidation ------------------------------------------------------
+
+    def on_segment_event(self, kind, length=None) -> None:
+        """CodeSegment invalidation listener (see program.py)."""
+        if kind == "rollback":
+            stale = [k for k, e in self._memo.items() if e.end > length]
+            for k in stale:
+                del self._memo[k]
+            for shape, bucket in list(self._templates.items()):
+                kept = [t for t in bucket if t.end <= length]
+                if kept:
+                    self._templates[shape] = kept
+                else:
+                    del self._templates[shape]
+        else:  # "fault" or anything else: be conservative, drop everything
+            self.clear()
+
+    def clear(self) -> None:
+        self._memo.clear()
+        self._templates.clear()
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "memo_entries": len(self._memo),
+            "template_shapes": len(self._templates),
+            "templates": sum(len(b) for b in self._templates.values()),
+        }

@@ -24,7 +24,9 @@ from __future__ import annotations
 import enum
 import re
 
+from repro import report
 from repro.core.cgf import CGF
+from repro.core.codecache import BYTES_PER_HOLE, CodeCache, PatchRecorder
 from repro.core.interp import Interp, MemCell, PyCell
 from repro.core.lowering import CodeGen, EmitCtx, cls_of
 from repro.core import static_backend
@@ -38,7 +40,8 @@ from repro.frontend import cast, parse, analyze
 from repro.frontend.sema import BUILTINS
 from repro.icode.backend import IcodeBackend
 from repro.runtime.arena import Arena
-from repro.runtime.costmodel import CostModel
+from repro.runtime.closures import signature_of
+from repro.runtime.costmodel import CostModel, Phase
 from repro.target.cpu import Function, Machine
 from repro.target.isa import wrap32
 from repro.vcode.machine import VcodeBackend
@@ -124,6 +127,10 @@ class CompiledProgram:
         ``reorder_cspec_operands``  tcc's 5.1 heuristic (default True)
         ``compile_static``  compile pure-C functions at start (default True)
         ``fallback``      retry failed ICODE installs on VCODE (default True)
+        ``codecache``     reuse dynamic code across compile() calls
+                          (default True; see repro.core.codecache)
+        ``code_templates``  the cache's Tier-2 copy-and-patch fast path
+                          (default True; ignored when ``codecache`` is off)
         ``spec_fuel``     spec-time interpreter step budget per ``run()``
                           (None = unlimited)
 
@@ -176,6 +183,11 @@ class Process:
         self.pending_args: list = []  # push()/apply() construction state
         self.last_codegen_stats = None
         self.compile_count = 0
+        self.codecache = CodeCache(
+            enabled=options.get("codecache", True),
+            templates_enabled=options.get("code_templates", True),
+        )
+        machine.code.add_invalidation_listener(self.codecache.on_segment_event)
         self._strings: dict = {}
         self._static_entries: dict = {}
         self._register_malloc()
@@ -339,45 +351,135 @@ class Process:
         fresh back end, link the result, reset dynamic parameter state, and
         return the entry address (the function pointer).
 
+        Dynamic-code reuse: when the specialization cache is enabled
+        (``codecache`` option, default on) the instantiation is
+        content-addressed first — a Tier-1 memo hit returns the previously
+        installed entry without touching the back end, and a Tier-2
+        template match clones + patches an earlier install (see
+        :mod:`repro.core.codecache`).  Only on a cold miss does the back
+        end run, with a :class:`PatchRecorder` riding along to capture a
+        template for future reuse.
+
         Graceful degradation: if ICODE instantiation dies mid-emit with a
         :class:`CodegenError` or an exhausted code segment, the
         half-emitted function is rolled back (code segment, heap, interned
         strings, cost charges) and the closure is retried once on the
         one-pass VCODE back end.  Successful fallbacks are recorded in
-        :mod:`repro.report` stats.
+        :mod:`repro.report` stats; their output is never cached (the
+        signature describes the primary back end's configuration).
         """
-        # Bind dynamic parameters created via param().
-        params = sorted(self.current_params, key=lambda v: v.index)
-        indices = [v.index for v in params]
-        if indices != list(range(len(params))):
-            raise CodegenError(
-                f"dynamic parameters must use dense indices 0..n-1, got "
-                f"{indices}"
-            )
         try:
-            entry = self._instantiate(self.make_backend(), closure,
-                                      ret_type, params)
-        except (CodegenError, CodeSegmentExhausted) as primary:
-            if (self.backend_kind is not BackendKind.ICODE
-                    or not self.options.get("fallback", True)):
-                raise
-            fallback = VcodeBackend(
-                self.machine, self.cost,
-                allow_spills=self.options.get("allow_spills", True),
-            )
-            entry = self._instantiate(fallback, closure, ret_type, params)
-            from repro import report
+            # Bind dynamic parameters created via param().
+            params = sorted(self.current_params, key=lambda v: v.index)
+            indices = [v.index for v in params]
+            if indices != list(range(len(params))):
+                raise CodegenError(
+                    f"dynamic parameters must use dense indices 0..n-1, got "
+                    f"{indices}"
+                )
+            signature = None
+            if self.codecache.enabled:
+                signature = signature_of(closure, params,
+                                         self._cache_config_key(ret_type))
+                entry = self._try_cached(signature)
+                if entry is not None:
+                    return self._note_compiled(entry, closure)
+                report.record_cache_miss()
+            recorder = (PatchRecorder(signature)
+                        if signature is not None else None)
+            try:
+                entry = self._instantiate(self.make_backend(), closure,
+                                          ret_type, params, recorder)
+            except (CodegenError, CodeSegmentExhausted) as primary:
+                if (self.backend_kind is not BackendKind.ICODE
+                        or not self.options.get("fallback", True)):
+                    raise
+                recorder = None
+                fallback = VcodeBackend(
+                    self.machine, self.cost,
+                    allow_spills=self.options.get("allow_spills", True),
+                )
+                entry = self._instantiate(fallback, closure, ret_type,
+                                          params, None)
+                report.record_fallback("icode", "vcode", str(primary))
+            self.last_codegen_stats = self.cost.end_instantiation()
+            if signature is not None and recorder is not None:
+                self.codecache.store(
+                    signature, recorder, entry, self.machine.code.here,
+                    self.last_codegen_stats.total_cycles(),
+                )
+            return self._note_compiled(entry, closure)
+        finally:
+            # Always reset param() state, even when instantiation raised:
+            # a failed compile() must not leak vspecs into the next one.
+            self.current_params = []
 
-            report.record_fallback("icode", "vcode", str(primary))
-        self.last_codegen_stats = self.cost.end_instantiation()
+    def _cache_config_key(self, ret_type):
+        """Every knob that changes what code an instantiation produces."""
+        opts = self.options
+        return (
+            self.backend_kind.value,
+            self.regalloc,
+            bool(opts.get("allow_spills", True)),
+            bool(opts.get("optimize_dynamic_ir", True)),
+            bool(opts.get("dynamic_peephole", True)),
+            bool(opts.get("strength_reduction", True)),
+            bool(opts.get("dynamic_unrolling", True)),
+            opts.get("max_unroll"),
+            bool(opts.get("reorder_cspec_operands", True)),
+            str(ret_type),
+        )
+
+    def _note_compiled(self, entry, closure) -> int:
+        """Shared epilogue of every compile() path (hit, patched, cold)."""
         self.compile_count += 1
-        self.current_params = []
         self.machine.code.note_function(
             entry, f"{closure.cgf.label}#{self.compile_count}"
         )
         return entry
 
-    def _instantiate(self, backend, closure, ret_type, params) -> int:
+    def _try_cached(self, signature):
+        """Probe both cache tiers; return an entry address or None.
+
+        Tier 1 returns the previously installed function outright.  Tier 2
+        clones a matching template through the normal emission path
+        (capacity checks and fault injection still apply) and patches its
+        holes; a failed clone is rolled back and treated as a miss.
+        """
+        cache = self.codecache
+        memory = self.machine.memory
+        self.cost.charge(Phase.CLOSURE, "cache_probe")
+        hit = cache.lookup(signature, memory)
+        if hit is not None:
+            self.last_codegen_stats = self.cost.end_instantiation()
+            report.record_cache_hit(
+                hit.cold_cycles - self.last_codegen_stats.total_cycles()
+            )
+            return hit.entry
+        template = cache.match_template(signature, memory)
+        if template is None:
+            return None
+        machine = self.machine
+        machine.code.mark()
+        try:
+            entry = cache.instantiate_template(template, signature, machine,
+                                               self.cost)
+            machine.code.link()
+        except CodeSegmentExhausted:
+            machine.code.release()
+            self.cost.begin_instantiation()  # discard partial charges
+            return None
+        machine.code.commit()
+        cache.store_patched(signature, template, entry, machine.code.here)
+        self.last_codegen_stats = self.cost.end_instantiation()
+        report.record_cache_patch(
+            len(template.holes) * BYTES_PER_HOLE,
+            template.cold_cycles - self.last_codegen_stats.total_cycles(),
+        )
+        return entry
+
+    def _instantiate(self, backend, closure, ret_type, params,
+                     recorder=None) -> int:
         """Run the CGF against ``backend`` inside a rollback scope: on any
         failure the code segment, the heap, and the interned-string table
         are restored, so a retry (or the caller) sees no half-emitted
@@ -390,6 +492,8 @@ class Process:
             ctx = EmitCtx(machine, self.cost, backend, ret_type,
                           self.intern_string, self.options)
             ctx.in_tick = True
+            ctx.recorder = recorder
+            backend.recorder = recorder
             n_int = n_float = 0
             for vspec in params:
                 storage = backend.vspec_storage(vspec)

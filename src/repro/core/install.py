@@ -62,12 +62,17 @@ def build_prologue_epilogue(used_sregs, used_fregs, has_call: bool,
 
 def install_function(machine, cost, body, labels, epilogue_label,
                      used_sregs, used_fregs, has_call, n_spill_slots,
-                     name=None, do_link=True):
+                     name=None, do_link=True, recorder=None):
     """Install a generated function body into the machine's code segment.
 
     ``labels`` hold *relative* addresses (indices into ``body``);
     ``epilogue_label`` is the label ret-sequences jump to.  Returns the
     absolute entry address.
+
+    ``recorder``, when given, is a codecache :class:`PatchRecorder`: it
+    scans the installed range pre-link (Label operands are still objects,
+    so relocation sites can be recorded) and snapshots it post-link as a
+    reusable template.
     """
     prologue, epilogue = build_prologue_epilogue(
         used_sregs, used_fregs, has_call, n_spill_slots
@@ -87,10 +92,14 @@ def install_function(machine, cost, body, labels, epilogue_label,
         segment.define(name, entry)
     # Install map: lets traps name the function containing a faulting pc.
     segment.note_function(entry, name or f"fn@{entry}")
+    if recorder is not None:
+        recorder.scan_installed(segment, entry)
     if do_link:
         patched = segment.link()
         if cost is not None:
             cost.charge(Phase.LINK, "patch", max(patched, 1))
+    if recorder is not None and do_link:
+        recorder.snapshot(segment)
     if cost is not None:
         cost.note_instruction(len(prologue) + len(epilogue))
     return entry

@@ -23,6 +23,7 @@ vspec storage).
 from __future__ import annotations
 
 from repro.core import partial_eval
+from repro.core.codecache import PatchImm, imm_int
 from repro.core.operands import FuncRef
 from repro.errors import CodegenError
 from repro.frontend import cast
@@ -145,6 +146,7 @@ class EmitCtx:
         self.rtconst_values: dict = {} # id(decl) -> captured $ value
         self.dollar_values: dict = {}  # slot -> spec-time $ value
         self.max_unroll = self.options.get("max_unroll", _MAX_UNROLL)
+        self.recorder = None           # codecache PatchRecorder, when caching
 
     def child(self) -> "EmitCtx":
         """A context for a nested CGF: same machine/back end/cost stream,
@@ -152,6 +154,7 @@ class EmitCtx:
         ctx = EmitCtx(self.machine, self.cost, self.backend, self.ret_type,
                       self.intern_string, self.options)
         ctx.in_tick = self.in_tick
+        ctx.recorder = self.recorder
         return ctx
 
 
@@ -163,6 +166,42 @@ class CodeGen:
         self.backend = ctx.backend
         self.loops: list = []  # (break_label, continue_label)
         self.reorder = ctx.options.get("reorder_cspec_operands", True)
+
+    # ------------------------------------------------------------------
+    # patch-hole provenance (codecache Tier 2)
+    #
+    # Run-time constants arrive tagged as PatchImm/PatchFloat when a
+    # PatchRecorder rides along.  Every transform below either *preserves*
+    # the tag (the result is still an affine image of the origin, so it
+    # can be re-patched) or *pins* the origin (its value steered what code
+    # was emitted, so a template is only reusable for the exact value).
+    # Plain Python arithmetic strips tags, which is the safe default —
+    # but strips at steering sites must be accompanied by a pin.
+    # ------------------------------------------------------------------
+
+    def _pin(self, value) -> None:
+        rec = self.ctx.recorder
+        if rec is not None:
+            rec.pin_value(value)
+
+    def _fold_tag(self, op, lhs, rhs, result):
+        """Re-tag a constant fold when affine, pin stripped inputs."""
+        rec = self.ctx.recorder
+        if rec is not None:
+            return rec.fold_binary(op, lhs, rhs, result)
+        return result
+
+    def _off_add(self, value, delta):
+        """value + delta (a plain int), tag-preserving."""
+        if isinstance(value, PatchImm) and self.ctx.recorder is not None:
+            return self.ctx.recorder.shift(value, delta)
+        return value + delta
+
+    def _off_scale(self, value, k):
+        """value * k (a plain int), tag-preserving."""
+        if isinstance(value, PatchImm) and self.ctx.recorder is not None:
+            return self.ctx.recorder.scale(value, k)
+        return int(value) * k
 
     # ------------------------------------------------------------------
     # value plumbing
@@ -184,7 +223,7 @@ class CodeGen:
             return val
         handle = self.backend.alloc_reg(val.cls)
         if val.cls == "f":
-            self.backend.fli(handle, float(val.value))
+            self.backend.fli(handle, val.value)
         else:
             self.backend.li(handle, val.value)
         return RegVal(handle, val.cls, True)
@@ -210,6 +249,8 @@ class CodeGen:
         if val.cls == to_cls:
             return val
         if isinstance(val, Imm):
+            # Crossing register classes is not affine in the origin value.
+            self._pin(val.value)
             if to_cls == "f":
                 return Imm(float(val.value), "f")
             return Imm(wrap32(int(val.value)), "i")
@@ -241,6 +282,12 @@ class CodeGen:
             if ty.is_array() or ty.is_struct():
                 # Aggregates get per-instantiation target memory (like the
                 # static back end's memory locals; documented non-reentrant).
+                # Reusing such code would alias the buffer across what a
+                # cold world treats as distinct functions: don't cache it.
+                if self.ctx.recorder is not None:
+                    self.ctx.recorder.disable(
+                        "per-instantiation aggregate local"
+                    )
                 elem = ty.base if ty.is_array() else ty
                 addr = self.ctx.machine.memory.alloc(
                     max(ty.size, 4), max(ty.align, 4)
@@ -267,7 +314,7 @@ class CodeGen:
         if isinstance(lv, RegLV):
             if isinstance(val, Imm):
                 if lv.cls == "f":
-                    self.backend.fli(lv.handle, float(val.value))
+                    self.backend.fli(lv.handle, val.value)
                 else:
                     self.backend.li(lv.handle, val.value)
             else:
@@ -316,28 +363,45 @@ class CodeGen:
         if isinstance(expr, cast.Unary):
             v = self.emit_eval(expr.operand)
             if expr.op == "-":
+                if isinstance(v, PatchImm) and ctx.recorder is not None:
+                    return ctx.recorder.negate(v)
+                self._pin(v)
                 return -v
             if expr.op == "+":
                 return v
             if expr.op == "!":
+                self._pin(v)
                 return 0 if v else 1
             if expr.op == "~":
+                self._pin(v)
                 return wrap32(~int(v))
             raise CodegenError(f"cannot evaluate unary {expr.op} at emission")
         if isinstance(expr, cast.Binary):
             return self._emit_eval_binary(expr)
         if isinstance(expr, cast.Cond):
+            cond = self.emit_eval(expr.cond)
+            # The condition selects which branch is evaluated/folded: any
+            # tagged value reaching it steered specialization.
+            self._pin(cond)
             return (
                 self.emit_eval(expr.then)
-                if self.emit_eval(expr.cond)
+                if cond
                 else self.emit_eval(expr.other)
             )
         if isinstance(expr, cast.Cast):
             v = self.emit_eval(expr.expr)
             if expr.target_type.is_float():
+                if isinstance(v, float):
+                    return v
+                self._pin(v)
                 return float(v)
             if expr.target_type.is_integer() or expr.target_type.is_pointer():
-                return wrap32(int(v))
+                w = wrap32(int(v))
+                if isinstance(v, PatchImm):
+                    # patch-time recompute applies wrap32 anyway: identity
+                    return PatchImm(w, v.origin, v.scale, v.addend)
+                self._pin(v)
+                return w
             return v
         if isinstance(expr, (cast.SizeofType,)):
             return T.sizeof(expr.target_type, expr.loc)
@@ -346,30 +410,49 @@ class CodeGen:
         if isinstance(expr, cast.Index):
             base = self.emit_eval(expr.base)
             idx = self.emit_eval(expr.index)
+            # The loaded value is baked into the code; guard the read so a
+            # cached entry is not reused after the memory changes, and pin
+            # anything that chose the address.
+            self._pin(base)
+            self._pin(idx)
             elem = T.decay(expr.base.ty).base
             addr = int(base) + int(idx) * elem.size
             mem = ctx.machine.memory
             if elem.is_float():
-                return mem.load_double(addr)
-            if isinstance(elem, T.IntType) and elem.kind == "char":
-                return mem.load_byte(addr) if elem.signed else \
-                    mem.load_byte_unsigned(addr)
-            return mem.load_word(addr)
+                width = "d"
+            elif isinstance(elem, T.IntType) and elem.kind == "char":
+                width = "b" if elem.signed else "bu"
+            else:
+                width = "w"
+            value = {
+                "d": mem.load_double,
+                "b": mem.load_byte,
+                "bu": mem.load_byte_unsigned,
+                "w": mem.load_word,
+            }[width](addr)
+            if ctx.recorder is not None:
+                ctx.recorder.note_guard(addr, width, value)
+            return value
         raise CodegenError(
             f"cannot evaluate {type(expr).__name__} at emission time"
         )
 
     def _emit_eval_binary(self, expr: cast.Binary):
         op = expr.op
-        if op == "&&":
-            return 1 if (self.emit_eval(expr.left) and
-                         self.emit_eval(expr.right)) else 0
-        if op == "||":
-            return 1 if (self.emit_eval(expr.left) or
-                         self.emit_eval(expr.right)) else 0
+        if op in ("&&", "||"):
+            lhs = self.emit_eval(expr.left)
+            self._pin(lhs)  # short-circuit choice steers what gets folded
+            if op == "&&" and not lhs:
+                return 0
+            if op == "||" and lhs:
+                return 1
+            rhs = self.emit_eval(expr.right)
+            self._pin(rhs)
+            return 1 if rhs else 0
         lhs = self.emit_eval(expr.left)
         rhs = self.emit_eval(expr.right)
-        return _fold_binary(op, lhs, rhs, expr.ty)
+        return self._fold_tag(op, lhs, rhs,
+                              _fold_binary(op, lhs, rhs, expr.ty))
 
     # ------------------------------------------------------------------
     # expressions
@@ -440,6 +523,9 @@ class CodeGen:
         if lv.base is None:
             return Imm(lv.off, "i")
         if lv.off == 0:
+            # Zero-offset elision is shape-steering: a template built here
+            # has no add instruction to re-patch for a nonzero offset.
+            self._pin(lv.off)
             return RegVal(lv.base, "i", lv.owned_base)
         dst = self._result_reg("i", RegVal(lv.base, "i", lv.owned_base))
         self.backend.binop_imm("add", dst.handle, lv.base, lv.off)
@@ -465,8 +551,13 @@ class CodeGen:
         if op == "-":
             val = self.convert(val, cls_of(e.ty))
             if isinstance(val, Imm):
-                return Imm(-val.value if val.cls == "f" else
-                           wrap32(-val.value), val.cls)
+                if val.cls == "f":
+                    self._pin(val.value)
+                    return Imm(-val.value, "f")
+                rec = self.ctx.recorder
+                if rec is not None and isinstance(val.value, PatchImm):
+                    return Imm(rec.negate(val.value), "i")
+                return Imm(wrap32(-val.value), "i")
             dst = self._result_reg(val.cls, val)
             if val.cls == "f":
                 self.backend.funop("fneg", dst.handle, val.handle)
@@ -475,12 +566,14 @@ class CodeGen:
             return dst
         if op == "~":
             if isinstance(val, Imm):
+                self._pin(val.value)
                 return Imm(wrap32(~int(val.value)), "i")
             dst = self._result_reg("i", val)
             self.backend.unop("not", dst.handle, val.handle)
             return dst
         if op == "!":
             if isinstance(val, Imm):
+                self._pin(val.value)
                 return Imm(0 if val.value else 1, "i")
             if val.cls == "f":
                 zero = self.materialize(Imm(0.0, "f"))
@@ -560,7 +653,10 @@ class CodeGen:
     def _emit_binop(self, op: str, lhs, rhs, ty: T.CType):
         cls = cls_of(ty)
         if isinstance(lhs, Imm) and isinstance(rhs, Imm):
-            return Imm(_fold_binary(op, lhs.value, rhs.value, ty), cls)
+            folded = self._fold_tag(
+                op, lhs.value, rhs.value,
+                _fold_binary(op, lhs.value, rhs.value, ty))
+            return Imm(folded, cls)
         if cls == "f":
             lhs = self.materialize(lhs)
             rhs = self.materialize(rhs)
@@ -577,10 +673,10 @@ class CodeGen:
         elif op == ">>" and unsigned:
             opname = "srl"
         if isinstance(rhs, Imm):
-            return self._emit_binop_imm(opname, lhs, int(rhs.value), unsigned)
+            return self._emit_binop_imm(opname, lhs, rhs.value, unsigned)
         if isinstance(lhs, Imm):
             if op in _COMMUTATIVE:
-                return self._emit_binop_imm(opname, rhs, int(lhs.value),
+                return self._emit_binop_imm(opname, rhs, lhs.value,
                                             unsigned)
             lhs = self.materialize(lhs)
         dst = self._result_reg("i", lhs, rhs)
@@ -588,12 +684,18 @@ class CodeGen:
         return dst
 
     def _emit_binop_imm(self, opname: str, lhs, imm: int, unsigned: bool):
+        if not isinstance(imm, int):
+            imm = int(imm)
         lhs = self.materialize(lhs)
         dst = self._result_reg("i", lhs)
         if not self.ctx.options.get("strength_reduction", True) and \
                 opname in ("mul", "div", "divu", "mod", "modu"):
             self.backend.binop_imm(opname, dst.handle, lhs.handle, imm)
             return dst
+        if opname in ("mul", "div", "divu", "mod", "modu"):
+            # Strength reduction inspects the immediate to choose the
+            # emitted sequence: the value steers specialization.
+            self._pin(imm)
         if opname in ("mul",):
             partial_eval.emit_mul_imm(self.backend, dst.handle, lhs.handle, imm)
         elif opname in ("div", "divu"):
@@ -615,10 +717,14 @@ class CodeGen:
         ptr = self.gen_expr(ptr_expr)
         idx = self.gen_expr(int_expr)
         if isinstance(idx, Imm):
-            delta = sign * int(idx.value) * size
+            delta = self._off_scale(idx.value, sign * size)
             if isinstance(ptr, Imm):
-                return Imm(wrap32(ptr.value + delta), "i")
+                folded = self._fold_tag(
+                    "+", ptr.value, delta, wrap32(int(ptr.value) + delta))
+                return Imm(folded, "i")
             if delta == 0:
+                # Eliding the add is shape-steering (see _address_of).
+                self._pin(delta)
                 return ptr
             dst = self._result_reg("i", ptr)
             self.backend.binop_imm("add", dst.handle, ptr.handle, delta)
@@ -652,6 +758,8 @@ class CodeGen:
         rhs = self.convert(self.gen_expr(e.right), cls)
         op = e.op
         if isinstance(lhs, Imm) and isinstance(rhs, Imm):
+            self._pin(lhs.value)
+            self._pin(rhs.value)
             if op in ("<", "<=", ">", ">=") and _unsigned_int(lty, rty):
                 lv = int(lhs.value) & 0xFFFFFFFF
                 rv = int(rhs.value) & 0xFFFFFFFF
@@ -675,7 +783,7 @@ class CodeGen:
             lhs = self.materialize(lhs)
             dst = self._result_reg("i", lhs)
             self.backend.binop_imm(_CMP_OPS[op], dst.handle, lhs.handle,
-                                   int(rhs.value))
+                                   rhs.value)
             return dst
         dst = self._result_reg("i", lhs, rhs)
         self.backend.binop(_CMP_OPS[op], dst.handle, lhs.handle, rhs.handle)
@@ -732,7 +840,8 @@ class CodeGen:
             rhs = self.gen_expr(e.value)
             size = T.decay(tty).base.size
             if isinstance(rhs, Imm):
-                delta = int(rhs.value) * size * (1 if e.op == "+" else -1)
+                delta = self._off_scale(rhs.value,
+                                        size * (1 if e.op == "+" else -1))
                 new = self._result_reg("i", old)
                 self.backend.binop_imm("add", new.handle, old.handle, delta)
             else:
@@ -792,6 +901,7 @@ class CodeGen:
         val = self.convert(val, cls_of(target))
         if isinstance(target, T.IntType) and target.kind == "char":
             if isinstance(val, Imm):
+                self._pin(val.value)
                 v = int(val.value) & 0xFF
                 if target.signed and v >= 128:
                     v -= 256
@@ -905,9 +1015,11 @@ class CodeGen:
         base = self.gen_expr(e.base)
         idx = self.gen_expr(e.index)
         if isinstance(idx, Imm):
-            off = int(idx.value) * elem.size
+            off = self._off_scale(idx.value, elem.size)
             if isinstance(base, Imm):
-                return MemLV(None, int(base.value) + off, width, cls)
+                addr = self._fold_tag("+", base.value, off,
+                                      int(base.value) + off)
+                return MemLV(None, addr, width, cls)
             base = self.materialize(base)
             return MemLV(base.handle, off, width, cls, owned_base=base.owned)
         idx = self.materialize(idx)
@@ -916,7 +1028,7 @@ class CodeGen:
                                   elem.size)
         self.release(idx)
         if isinstance(base, Imm):
-            return MemLV(scaled.handle, int(base.value), width, cls,
+            return MemLV(scaled.handle, imm_int(base.value), width, cls,
                          owned_base=True)
         base = self.materialize(base)
         addr = self._result_reg("i", base, scaled)
@@ -933,7 +1045,8 @@ class CodeGen:
             _fty, offset = struct.field(e.name)
             ptr = self.gen_expr(e.base)
             if isinstance(ptr, Imm):
-                return MemLV(None, int(ptr.value) + offset, width, cls)
+                return MemLV(None, self._off_add(ptr.value, offset),
+                             width, cls)
             ptr = self.materialize(ptr)
             return MemLV(ptr.handle, offset, width, cls,
                          owned_base=ptr.owned)
@@ -942,8 +1055,8 @@ class CodeGen:
         base_lv = self.gen_lvalue(e.base)
         if not isinstance(base_lv, MemLV):
             raise CodegenError("struct value is not memory-backed")
-        return MemLV(base_lv.base, base_lv.off + offset, width, cls,
-                     owned_base=base_lv.owned_base)
+        return MemLV(base_lv.base, self._off_add(base_lv.off, offset),
+                     width, cls, owned_base=base_lv.owned_base)
 
     def _copy_struct(self, dst_lv: MemLV, src_lv: MemLV, size: int) -> None:
         """Member-wise word/byte copy for struct assignment, unrolled."""
@@ -951,15 +1064,15 @@ class CodeGen:
         offset = 0
         while offset + 4 <= size:
             self.backend.load(tmp.handle, src_lv.base,
-                              src_lv.off + offset, "w")
+                              self._off_add(src_lv.off, offset), "w")
             self.backend.store(tmp.handle, dst_lv.base,
-                               dst_lv.off + offset, "w")
+                               self._off_add(dst_lv.off, offset), "w")
             offset += 4
         while offset < size:
             self.backend.load(tmp.handle, src_lv.base,
-                              src_lv.off + offset, "bu")
+                              self._off_add(src_lv.off, offset), "bu")
             self.backend.store(tmp.handle, dst_lv.base,
-                               dst_lv.off + offset, "b")
+                               self._off_add(dst_lv.off, offset), "b")
             offset += 1
         self.release(tmp)
         self.release_lv(src_lv)
@@ -972,7 +1085,9 @@ class CodeGen:
     def branch_true(self, e, label) -> None:
         """Jump to ``label`` when ``e`` is true; otherwise fall through."""
         if self.ctx.in_tick and self._etc_ready(e):
-            if self.emit_eval(e):
+            cond = self.emit_eval(e)
+            self._pin(cond)  # folded branch: the value chose the code shape
+            if cond:
                 self.backend.jmp(label)
             return
         if isinstance(e, cast.Binary) and e.op == "&&":
@@ -994,7 +1109,9 @@ class CodeGen:
     def branch_false(self, e, label) -> None:
         """Jump to ``label`` when ``e`` is false; otherwise fall through."""
         if self.ctx.in_tick and self._etc_ready(e):
-            if not self.emit_eval(e):
+            cond = self.emit_eval(e)
+            self._pin(cond)  # folded branch: the value chose the code shape
+            if not cond:
                 self.backend.jmp(label)
             return
         if isinstance(e, cast.Binary) and e.op == "&&":
@@ -1015,6 +1132,7 @@ class CodeGen:
 
     def _branch_on(self, val, label, want_true: bool) -> None:
         if isinstance(val, Imm):
+            self._pin(val.value)
             truthy = bool(val.value)
             if truthy == want_true:
                 self.backend.jmp(label)
@@ -1067,7 +1185,8 @@ class CodeGen:
                     val = self.convert(self.gen_expr(item), cls_of(elem))
                     rv = self.materialize(val)
                     self.backend.store(rv.handle, lv.base,
-                                       lv.off + i * elem.size, width_of(elem))
+                                       self._off_add(lv.off, i * elem.size),
+                                       width_of(elem))
                     self.release(rv)
                 continue
             if decl.ty.is_struct():
@@ -1084,7 +1203,9 @@ class CodeGen:
                 self._etc_ready(node.cond):
             # Emission-time dead-code elimination (tcc 4.4).
             self.ctx.cost.charge(self._fold_phase(), "rtconst_fold")
-            if self.emit_eval(node.cond):
+            cond = self.emit_eval(node.cond)
+            self._pin(cond)  # DCE choice steered by the value
+            if cond:
                 self.gen_stmt(node.then)
             elif node.other is not None:
                 self.gen_stmt(node.other)
@@ -1163,11 +1284,15 @@ class CodeGen:
         ctx = self.ctx
         decl = node.induction
         step_expr = _step_expression(node)
-        value = wrap32(int(self.emit_eval(node.init.value)))
+        init = self.emit_eval(node.init.value)
+        self._pin(init)  # loop control decides the unroll count
+        value = wrap32(int(init))
         relop = node.cond.op
         iterations = 0
         while True:
-            bound = wrap32(int(self.emit_eval(node.cond.right)))
+            bound = self.emit_eval(node.cond.right)
+            self._pin(bound)
+            bound = wrap32(int(bound))
             ctx.cost.charge(self._fold_phase(), "rtconst_fold")
             if not _compare(relop, value, bound):
                 break
@@ -1178,7 +1303,9 @@ class CodeGen:
                 )
             ctx.emit_env[id(decl)] = value
             self.gen_stmt(node.body)
-            value = wrap32(value + int(self.emit_eval(step_expr)))
+            step = self.emit_eval(step_expr)
+            self._pin(step)
+            value = wrap32(value + int(step))
         # After the loop the induction variable holds its final value and
         # remains a derived run-time constant for the rest of the emission.
         ctx.emit_env[id(decl)] = value

@@ -10,6 +10,12 @@ use them for *static* constants).
 On the simulated target (as on the paper's microSPARC-era machines) integer
 multiply costs 20 cycles and divide 40, so shift/add sequences win whenever
 they stay short.
+
+Codecache contract: the emitted sequence's *shape* depends on the immediate
+value, so these macros must never receive a live patch hole — the lowering
+layer pins a tagged immediate's origin (see ``PatchRecorder.pin_value``)
+before dispatching here, and the ``int(imm)`` normalization below then
+safely strips any carrier.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ prepended/appended as needed, peephole optimization, and linking.
 
 from __future__ import annotations
 
+from repro.core.codecache import imm_float, imm_int
 from repro.core.install import install_function, spill_offset
 from repro.core.operands import FuncRef, VReg
 from repro.errors import CodegenError
@@ -109,6 +110,7 @@ class IcodeBackend:
         self.intervals = None
         self.flowgraph = None
         self.body = None
+        self.recorder = None  # codecache PatchRecorder, set by the driver
 
     # -- registers -------------------------------------------------------------
 
@@ -146,11 +148,11 @@ class IcodeBackend:
 
     def li(self, dst, imm) -> None:
         if not isinstance(imm, FuncRef):
-            imm = int(imm)
+            imm = imm_int(imm)  # tag-preserving: a PatchImm stays a hole
         self._record(IRInstr(Op.LI, dst, imm))
 
     def fli(self, dst, imm: float) -> None:
-        self._record(IRInstr(Op.FLI, dst, float(imm)))
+        self._record(IRInstr(Op.FLI, dst, imm_float(imm)))
 
     def binop(self, opname: str, dst, a, b) -> None:
         self._record(IRInstr(_BINOPS[opname][0], dst, a, b))
@@ -162,7 +164,7 @@ class IcodeBackend:
             self.li(tmp, imm)
             self.binop(opname, dst, a, tmp)
             return
-        self._record(IRInstr(op, dst, a, int(imm)))
+        self._record(IRInstr(op, dst, a, imm_int(imm)))
 
     def unop(self, opname: str, dst, a) -> None:
         self._record(IRInstr(_UNOPS[opname], dst, a))
@@ -183,10 +185,10 @@ class IcodeBackend:
         self._record(IRInstr(Op.CVTFI, idst, fsrc))
 
     def load(self, dst, base, off: int, width: str = "w") -> None:
-        self._record(IRInstr(_LOADS[width], dst, base, int(off)))
+        self._record(IRInstr(_LOADS[width], dst, base, imm_int(off)))
 
     def store(self, src, base, off: int, width: str = "w") -> None:
-        self._record(IRInstr(_STORES[width], src, base, int(off)))
+        self._record(IRInstr(_STORES[width], src, base, imm_int(off)))
 
     # -- control flow ----------------------------------------------------------------
 
@@ -252,7 +254,7 @@ class IcodeBackend:
         cost = self.cost
         if self.optimize_ir:
             optim.optimize(self.ir, build_flowgraph, compute_liveness,
-                           cost=cost)
+                           cost=cost, recorder=self.recorder)
         fg = build_flowgraph(self.ir, cost)
         compute_liveness(fg, cost)
         # The paper's accounting: live-interval setup is part of linear
@@ -297,6 +299,7 @@ class IcodeBackend:
         return install_function(
             self.machine, cost, body, self.labels, self.epilogue_label,
             used_sregs, used_fregs, has_call, slot_counter[0], name, do_link,
+            recorder=self.recorder,
         )
 
     # -- IR -> target translation -------------------------------------------------------

@@ -62,9 +62,11 @@ def _is_pure(instr) -> bool:
     return isinstance(instr.a, VReg)
 
 
-def propagate_block(ir, start: int, end: int) -> int:
+def propagate_block(ir, start: int, end: int, recorder=None) -> int:
     """Constant and copy propagation within one block; returns the number of
-    rewrites performed."""
+    rewrites performed.  ``recorder`` (a codecache PatchRecorder) is told
+    when a tagged immediate is consumed by a fold that strips its
+    provenance, so the affected origin stops being patchable."""
     instrs = ir.instrs
     consts: dict = {}  # VReg -> int
     copies: dict = {}  # VReg -> VReg
@@ -128,6 +130,11 @@ def propagate_block(ir, start: int, end: int) -> int:
             op = imm_op
             rewrites += 1
         if op in _IMM_FOLD and isinstance(instr.b, VReg) and instr.b in consts:
+            if recorder is not None:
+                # The fold collapses both immediates into one plain LI;
+                # any provenance they carried steers the folded value.
+                recorder.pin_value(consts[instr.b])
+                recorder.pin_value(instr.c)
             value = wrap32(_IMM_FOLD[op](consts[instr.b], instr.c))
             instr.op = Op.LI
             instr.a, instr.b, instr.c = dst, value, None
@@ -173,7 +180,8 @@ def eliminate_dead_code(ir, fg) -> int:
     return removed
 
 
-def optimize(ir, fg_builder, liveness_fn, rounds: int = 3, cost=None) -> None:
+def optimize(ir, fg_builder, liveness_fn, rounds: int = 3, cost=None,
+             recorder=None) -> None:
     """Run propagation + DCE to a (bounded) fixpoint.  ``fg_builder`` and
     ``liveness_fn`` are injected to avoid circular imports."""
     from repro.runtime.costmodel import Phase
@@ -184,7 +192,7 @@ def optimize(ir, fg_builder, liveness_fn, rounds: int = 3, cost=None) -> None:
         fg = fg_builder(ir, None)
         work = 0
         for block in fg.blocks:
-            work += propagate_block(ir, block.start, block.end)
+            work += propagate_block(ir, block.start, block.end, recorder)
         fg = fg_builder(ir, None)
         liveness_fn(fg, None)
         work += eliminate_dead_code(ir, fg)

@@ -18,11 +18,9 @@ from __future__ import annotations
 
 import sys
 
-from repro.analysis import collect_used_ops
-from repro.apps import ALL_APPS, FIGURE4_APPS
-from repro.apps.harness import measure
-from repro.apps.table1 import table1
-from repro.core.driver import TccCompiler
+# The heavyweight repro.apps/analysis imports live inside the report
+# functions: the driver imports this module at module level (for the
+# fallback and cache counters), and the apps import the driver.
 
 SERIES = [
     ("icode", "lcc"),
@@ -36,6 +34,52 @@ SERIES = [
 #: ICODE instantiation is successfully retried on VCODE.  ``events`` holds
 #: ``(from_backend, to_backend, reason)`` tuples in occurrence order.
 FALLBACK_STATS = {"count": 0, "events": []}
+
+#: Specialization-cache counters, fed by
+#: :meth:`repro.core.driver.Process.compile_closure`:
+#: Tier-1 memo hits, Tier-2 template patches, and cold misses, plus the
+#: modeled bytes patched and codegen cycles the cache avoided.
+CACHE_STATS = {
+    "hits": 0,
+    "misses": 0,
+    "patched": 0,
+    "patched_bytes": 0,
+    "cycles_saved": 0,
+}
+
+
+def record_cache_hit(cycles_saved: int = 0) -> None:
+    """Record one Tier-1 memo hit."""
+    CACHE_STATS["hits"] += 1
+    CACHE_STATS["cycles_saved"] += max(int(cycles_saved), 0)
+
+
+def record_cache_patch(patched_bytes: int, cycles_saved: int = 0) -> None:
+    """Record one Tier-2 template instantiation."""
+    CACHE_STATS["patched"] += 1
+    CACHE_STATS["patched_bytes"] += int(patched_bytes)
+    CACHE_STATS["cycles_saved"] += max(int(cycles_saved), 0)
+
+
+def record_cache_miss() -> None:
+    """Record one cold compile (cache enabled but no reuse possible)."""
+    CACHE_STATS["misses"] += 1
+
+
+def cache_stats() -> dict:
+    return dict(CACHE_STATS)
+
+
+def reset_cache_stats() -> None:
+    for key in CACHE_STATS:
+        CACHE_STATS[key] = 0
+
+
+def reset() -> None:
+    """Reset every cross-process counter this module accumulates
+    (backend fallbacks and specialization-cache statistics)."""
+    reset_fallbacks()
+    reset_cache_stats()
 
 
 def record_fallback(from_backend: str, to_backend: str, reason: str) -> None:
@@ -54,6 +98,9 @@ def reset_fallbacks() -> None:
 
 
 def _series_results(app_names):
+    from repro.apps import ALL_APPS
+    from repro.apps.harness import measure
+
     out = {}
     for name in app_names:
         app = ALL_APPS[name]
@@ -67,6 +114,8 @@ def _series_results(app_names):
 
 
 def report_table1() -> str:
+    from repro.apps.table1 import table1
+
     lines = [
         "Table 1: code generation overhead, cycles per generated instruction",
         "(paper: VCODE 96.8-260.1, ICODE 1019.7-1261.9)",
@@ -83,6 +132,8 @@ def report_table1() -> str:
 
 
 def report_fig4(results=None) -> str:
+    from repro.apps import FIGURE4_APPS
+
     results = results or _series_results(FIGURE4_APPS)
     names = list(results)
     lines = [
@@ -102,6 +153,8 @@ def report_fig4(results=None) -> str:
 
 
 def report_fig5(results=None) -> str:
+    from repro.apps import FIGURE4_APPS
+
     results = results or _series_results(FIGURE4_APPS)
     lines = [
         "Figure 5: cross-over point (runs needed to amortize dynamic",
@@ -120,6 +173,9 @@ def report_fig5(results=None) -> str:
 
 
 def report_fig6() -> str:
+    from repro.apps import ALL_APPS, FIGURE4_APPS
+    from repro.apps.harness import measure
+
     lines = [
         "Figure 6: VCODE dynamic compilation cost breakdown",
         "(cycles per generated instruction; paper band: 100-500,",
@@ -140,6 +196,9 @@ def report_fig6() -> str:
 
 
 def report_fig7() -> str:
+    from repro.apps import ALL_APPS, FIGURE4_APPS
+    from repro.apps.harness import measure
+
     lines = [
         "Figure 7: ICODE cost breakdown, linear scan (LS) vs graph",
         "coloring (GC) register allocation (cycles per generated",
@@ -164,7 +223,8 @@ def report_fig7() -> str:
 
 
 def report_blur() -> str:
-    from repro.apps import blur_app
+    from repro.apps import ALL_APPS, blur_app
+    from repro.apps.harness import measure
 
     r_lcc = measure(ALL_APPS["blur"], backend="icode", static_opt="lcc")
     r_gcc = measure(ALL_APPS["blur"], backend="icode", static_opt="gcc")
@@ -187,6 +247,10 @@ def report_blur() -> str:
 
 
 def report_usedops() -> str:
+    from repro.analysis import collect_used_ops
+    from repro.apps import ALL_APPS
+    from repro.core.driver import TccCompiler
+
     tcc = TccCompiler()
     lines = [
         "Link-time ICODE-emitter pruning (section 5.2); paper: 'cuts the",
@@ -221,6 +285,8 @@ def main(argv=None) -> int:
         print(__doc__)
         return 1
     if argv[0] == "all":
+        from repro.apps import FIGURE4_APPS
+
         shared = _series_results(FIGURE4_APPS)
         print(report_table1())
         print()

@@ -18,6 +18,7 @@ modeled sizes, used by the cost model) mirror the paper exactly.
 from __future__ import annotations
 
 import enum
+import struct
 
 
 class CaptureKind(enum.Enum):
@@ -97,3 +98,103 @@ class Closure:
     def __repr__(self) -> str:
         what = self.label or getattr(self.cgf, "label", "?")
         return f"<Closure {what}: {len(self.slots)} captures>"
+
+
+class ClosureSignature:
+    """Content address of one instantiation (the specialization-cache key).
+
+    ``shape_key`` identifies *which code would be generated modulo leaf
+    values*: the CGF graph (by identity for statically compiled CGFs, by
+    class for the synthetic label/jump/apply CGFs), the capture names and
+    kinds, the canonical numbering of vspecs and dynamic labels, the vspec
+    parameter layout, and the full backend configuration.  ``values`` is
+    the parallel tuple of taggable leaves — ``$`` ints/floats, free-variable
+    addresses — whose indices double as patch-hole *origins*.
+    ``origin_map`` maps ``(id(closure), slot_name)`` back to those indices
+    so bind-time tagging can find them.
+    """
+
+    __slots__ = ("shape_key", "values", "values_key", "origin_map")
+
+    def __init__(self, shape_key, values, origin_map):
+        self.shape_key = shape_key
+        self.values = values
+        self.values_key = tuple(
+            ("f", struct.pack(">d", v)) if isinstance(v, float) else ("i", v)
+            for v in values)
+        self.origin_map = origin_map
+
+    @property
+    def key(self):
+        return (self.shape_key, self.values_key)
+
+
+def signature_of(closure: Closure, params=(), config=()) -> ClosureSignature:
+    """Walk a closure graph into a :class:`ClosureSignature`.
+
+    Deterministic: slots are visited in sorted-name order, aliased closures
+    are memoized (so a vspec or cspec referenced from several compositions
+    contributes once), and per-run objects (vspecs, dynamic labels) are
+    replaced by canonical first-seen numbering so two runs that build fresh
+    -- but isomorphic -- objects produce equal shapes.
+    """
+    from repro.core.cgf import CGF, DynLabel
+    from repro.core.operands import FuncRef
+
+    shape = []
+    values = []
+    origin_map = {}
+    interned = {}   # id(obj) -> canonical number (vspecs, dynlabels)
+    seen = {}       # id(closure) -> canonical closure number
+
+    def canon(obj) -> int:
+        num = interned.get(id(obj))
+        if num is None:
+            num = len(interned)
+            interned[id(obj)] = num
+        return num
+
+    def leaf(c, name, v):
+        if isinstance(v, Closure):
+            walk(v)
+        elif isinstance(v, Vspec):
+            shape.append(("vspec", canon(v), v.kind, v.cls, v.index))
+        elif isinstance(v, DynLabel):
+            shape.append(("dynlabel", canon(v)))
+        elif isinstance(v, FuncRef):
+            shape.append(("funcref", v.name))
+        elif isinstance(v, list):
+            shape.append(("list", len(v)))
+            for item in v:
+                leaf(c, name, item)
+        elif isinstance(v, bool):
+            shape.append(("bool", v))
+        elif isinstance(v, (int, float)):
+            origin_map.setdefault((id(c), name), len(values))
+            shape.append(("val", isinstance(v, float)))
+            values.append(float(v) if isinstance(v, float) else int(v))
+        else:
+            # unknown capture: key on identity so it never falsely aliases
+            shape.append(("obj", type(v).__name__, id(v)))
+
+    def walk(c: Closure):
+        if id(c) in seen:
+            shape.append(("ref", seen[id(c)]))
+            return
+        seen[id(c)] = len(seen)
+        cgf = c.cgf
+        if isinstance(cgf, CGF):
+            shape.append(("cgf", id(cgf)))
+        else:
+            shape.append(("cgf", type(cgf).__name__))
+        for name in sorted(c.slots):
+            kind = c.kinds.get(name)
+            shape.append(("slot", name, kind.value if kind is not None
+                          else None))
+            leaf(c, name, c.slots[name])
+
+    walk(closure)
+    shape.append(("params",
+                  tuple((v.index, v.cls, canon(v)) for v in params)))
+    shape.append(("config", tuple(config)))
+    return ClosureSignature(tuple(shape), tuple(values), origin_map)

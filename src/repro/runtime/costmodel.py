@@ -35,6 +35,7 @@ class Phase(enum.Enum):
     REGALLOC = "regalloc"      # ICODE: linear scan or graph coloring
     TRANSLATE = "translate"    # ICODE: IR -> binary translation
     LINK = "link"              # resolving labels, installing code
+    PATCH = "patch"            # code cache: template copy + hole patching
 
 
 #: Cycle weights per counted event.  Keys are (phase, event) pairs.
@@ -82,6 +83,11 @@ DEFAULT_WEIGHTS = {
     (Phase.TRANSLATE, "spill_code"): 40,
     # linking
     (Phase.LINK, "patch"): 6,
+    # specialization cache (codecache.py)
+    (Phase.CLOSURE, "cache_probe"): 12,    # hash + memo lookup + guard check
+    (Phase.PATCH, "copy_instr"): 4,        # memcpy one template instruction
+    (Phase.PATCH, "hole"): 6,              # recompute + store one immediate
+    (Phase.PATCH, "guard"): 8,             # re-read one guarded memory word
 }
 
 

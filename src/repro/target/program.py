@@ -66,6 +66,8 @@ class CodeSegment:
         # install map: parallel sorted lists of (entry, name) for traps
         self._fn_entries: list = [0]
         self._fn_names: list = ["<halt>"]
+        # observers notified when installed code stops being trustworthy
+        self._invalidation_listeners: list = []
 
     @property
     def here(self) -> int:
@@ -104,6 +106,20 @@ class CodeSegment:
         if nth < 1:
             raise ValueError("nth must be >= 1")
         self._fail_emit_in = nth
+        self._notify_invalidation("fault", None)
+
+    # -- invalidation listeners --------------------------------------------------
+
+    def add_invalidation_listener(self, fn) -> None:
+        """Register ``fn(kind, length)`` to be told when installed code may
+        no longer be reused: ``("rollback", new_length)`` after a
+        :meth:`release` truncation, ``("fault", None)`` when a fault is
+        injected.  Used by the specialization cache."""
+        self._invalidation_listeners.append(fn)
+
+    def _notify_invalidation(self, kind: str, length) -> None:
+        for fn in self._invalidation_listeners:
+            fn(kind, length)
 
     # -- symbols ----------------------------------------------------------------
 
@@ -176,6 +192,7 @@ class CodeSegment:
         self._linked = min(self._linked, linked)
         del self._fn_entries[n_fns:]
         del self._fn_names[n_fns:]
+        self._notify_invalidation("rollback", length)
 
     def commit(self) -> None:
         """Drop the innermost checkpoint, keeping everything emitted."""

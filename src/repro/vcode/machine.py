@@ -14,6 +14,7 @@ if-statements too expensive can disable them" mode.
 
 from __future__ import annotations
 
+from repro.core.codecache import imm_float, imm_int
 from repro.core.install import install_function, spill_offset
 from repro.core.operands import FuncRef, PReg, Spill
 from repro.errors import CodegenError
@@ -94,6 +95,7 @@ class VcodeBackend:
         self._vspec_storage: dict = {}
         self._dyn_labels: dict = {}
         self._installed = False
+        self.recorder = None  # codecache PatchRecorder, set by the driver
 
     # -- register management (getreg / putreg, tcc 5.1) ----------------------
 
@@ -188,14 +190,14 @@ class VcodeBackend:
 
     def li(self, dst, imm) -> None:
         if not isinstance(imm, FuncRef):
-            imm = int(imm)
+            imm = imm_int(imm)  # tag-preserving: a PatchImm stays a hole
         reg = self._def_target(dst)
         self._emit(Op.LI, reg, imm)
         self._def_commit(dst, reg)
 
     def fli(self, dst, imm: float) -> None:
         reg = self._def_target(dst)
-        self._emit(Op.FLI, reg, float(imm))
+        self._emit(Op.FLI, reg, imm_float(imm))
         self._def_commit(dst, reg)
 
     def binop(self, opname: str, dst, a, b) -> None:
@@ -216,7 +218,7 @@ class VcodeBackend:
             return
         ra = self._use(a, 0)
         rd = self._def_target(dst)
-        self._emit(op, rd, ra, int(imm))
+        self._emit(op, rd, ra, imm_int(imm))
         self._def_commit(dst, rd)
 
     def unop(self, opname: str, dst, a) -> None:
@@ -265,14 +267,14 @@ class VcodeBackend:
         op = _LOADS[width]
         rb = Reg.ZERO if base is None else self._use(base, 1)
         rd = self._def_target(dst)
-        self._emit(op, rd, rb, int(off))
+        self._emit(op, rd, rb, imm_int(off))
         self._def_commit(dst, rd)
 
     def store(self, src, base, off: int, width: str = "w") -> None:
         op = _STORES[width]
         rs = self._use(src, 0)
         rb = Reg.ZERO if base is None else self._use(base, 1)
-        self._emit(op, rs, rb, int(off))
+        self._emit(op, rs, rb, imm_int(off))
 
     # -- control flow -----------------------------------------------------------
 
@@ -392,4 +394,5 @@ class VcodeBackend:
             self.n_spill_slots,
             name,
             do_link,
+            recorder=self.recorder,
         )

@@ -5,6 +5,7 @@ import pytest
 
 from repro import report
 from repro.errors import (
+    CodegenError,
     CodeSegmentExhausted,
     CycleBudgetExceeded,
     MachineError,
@@ -215,6 +216,37 @@ class TestBackendFallback:
         with pytest.raises(CodeSegmentExhausted):
             proc.run("build", 10)
         assert report.fallback_count() == 0
+
+    def test_failed_compile_does_not_leak_params(self):
+        # regression: a compile() that dies must still reset the pending
+        # param() list, or the leaked vspecs raise a bogus "dense indices"
+        # error on the next, unrelated compile()
+        src = """
+        int build_bad(void) {
+            int vspec a = param(int, 0);
+            int vspec b = param(int, 2);
+            return (int)compile(`(a + b), int);
+        }
+        int build_good(int n) {
+            int vspec p = param(int, 0);
+            return (int)compile(`($n + p), int);
+        }
+        """
+        proc = compile_c(src, backend="icode")
+        with pytest.raises(CodegenError, match="dense indices"):
+            proc.run("build_bad")
+        assert proc.current_params == []
+        entry = proc.run("build_good", 10)   # unaffected by the failure
+        assert proc.function(entry, "i", "i")(5) == 15
+
+    def test_failed_instantiation_also_resets_params(self):
+        proc = compile_c(ADDER, backend="vcode")
+        proc.machine.code.inject_emit_failure(2)
+        with pytest.raises(CodeSegmentExhausted):
+            proc.run("build", 10)
+        assert proc.current_params == []
+        entry = proc.run("build", 4)
+        assert proc.function(entry, "i", "i")(5) == 9
 
 
 class TestArenaValidation:

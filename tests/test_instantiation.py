@@ -21,10 +21,7 @@ class TestRepeatedInstantiation:
         assert f1() == 10 and f2() == 18
         assert f1() == 10  # f1 unchanged by the second instantiation
 
-    def test_one_closure_many_instantiations(self, backend):
-        # the *same* closure (not re-specified) compiled twice: fresh
-        # storage is allocated each time, so both copies work
-        src = """
+    _BUILD_TWICE_SRC = """
         int cspec saved;
         void make(void) {
             int vspec v = local(int);
@@ -40,13 +37,30 @@ class TestRepeatedInstantiation:
             return 0;
         }
         """
-        proc = compile_c(src, backend=backend)
+
+    def test_one_closure_many_instantiations(self, backend):
+        # the *same* closure (not re-specified) compiled twice: with the
+        # specialization cache off, fresh storage is allocated each time
+        # and two distinct bodies are installed
+        proc = compile_c(self._BUILD_TWICE_SRC, backend=backend,
+                         codecache=False)
         out = proc.machine.memory.alloc_words([0, 0])
         proc.run("build_twice", out)
         a, b = proc.machine.memory.read_words(out, 2)
         assert a != b  # two distinct function bodies
         assert proc.function(a, "", "i")() == 9
         assert proc.function(b, "", "i")() == 9
+
+    def test_one_closure_cached_instantiations(self, backend):
+        # with the cache on (the default) the unchanged closure memoizes:
+        # the same installed body is returned and still computes correctly
+        # (its dynamic local is per-call register/stack storage)
+        proc = compile_c(self._BUILD_TWICE_SRC, backend=backend)
+        out = proc.machine.memory.alloc_words([0, 0])
+        proc.run("build_twice", out)
+        a, b = proc.machine.memory.read_words(out, 2)
+        assert a == b  # Tier-1 memo hit reuses the installed body
+        assert proc.function(a, "", "i")() == 9
 
     def test_vspec_storage_not_shared_across_compiles(self, backend):
         # a vspec used by two separately compiled functions gets storage
