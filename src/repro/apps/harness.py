@@ -33,8 +33,15 @@ def clear_cache() -> None:
 
 
 def measure(app: App, backend: str = "icode", regalloc: str = "linear",
-            static_opt: str = "lcc", **extra_options) -> MeasureResult:
-    """Measure one app under one configuration; see module docstring."""
+            static_opt: str = "lcc", engine: str = "block",
+            **extra_options) -> MeasureResult:
+    """Measure one app under one configuration; see module docstring.
+
+    ``engine`` selects the target-machine execution engine ("block" or
+    "reference") for both the dynamic and the static machine.  Modeled
+    cycles are engine-independent; the knob only changes host wall time
+    (benchmarks/test_dispatch.py measures that difference).
+    """
     result = MeasureResult(app.name, backend, regalloc, static_opt)
     prog = _program(app)
 
@@ -43,7 +50,8 @@ def measure(app: App, backend: str = "icode", regalloc: str = "linear",
     # cold code-generation cost (benchmarks/test_codecache.py measures the
     # warm/patched paths).
     extra_options.setdefault("codecache", False)
-    proc = prog.start(backend=backend, regalloc=regalloc, **extra_options)
+    proc = prog.start(backend=backend, regalloc=regalloc, engine=engine,
+                      **extra_options)
     ctx = app.setup(proc)
     entry = proc.run(app.builder, *app.builder_args(ctx))
     fn = proc.function(entry, app.dyn_signature, app.dyn_returns,
@@ -59,7 +67,7 @@ def measure(app: App, backend: str = "icode", regalloc: str = "linear",
     result.dynamic_cycles = proc.machine.cpu.cycles - before
 
     # Static side: a separate machine so measurements are isolated.
-    proc_s = prog.start(static_opt=static_opt)
+    proc_s = prog.start(static_opt=static_opt, engine=engine)
     ctx_s = app.setup(proc_s)
     sfn = proc_s.static_function(app.static_name)
     before = proc_s.machine.cpu.cycles

@@ -140,11 +140,14 @@ class CompiledProgram:
         ``fuel``          watchdog cycle budget per call (None = unlimited)
         ``icache``        an :class:`~repro.target.cpu.ICache` model
         ``code_capacity`` code-segment capacity, in instructions
+        ``engine``        "block" (predecoded superblock dispatch, the
+                          default) or "reference" (the per-instruction
+                          oracle stepper)
         """
         if machine is None:
             machine_options = {
                 key: options[key]
-                for key in ("fuel", "icache", "code_capacity")
+                for key in ("fuel", "icache", "code_capacity", "engine")
                 if key in options
             }
             machine = Machine(**machine_options)

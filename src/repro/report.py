@@ -75,11 +75,61 @@ def reset_cache_stats() -> None:
         CACHE_STATS[key] = 0
 
 
+#: Block-dispatch engine counters, fed by
+#: :class:`repro.target.dispatch.BlockEngine`: superblocks compiled,
+#: instructions predecoded into them, superinstruction pairs fused (by
+#: kind), block-granular dispatches, block-cache hits, and blocks
+#: evicted by code-segment invalidation events.
+DISPATCH_STATS = {
+    "blocks_compiled": 0,
+    "instructions_predecoded": 0,
+    "fused_pairs": 0,
+    "fused_by_kind": {},
+    "block_dispatches": 0,
+    "block_cache_hits": 0,
+    "blocks_invalidated": 0,
+}
+
+
+def record_block_compiled(n_instructions: int, fused: dict) -> None:
+    """Record one superblock compilation."""
+    DISPATCH_STATS["blocks_compiled"] += 1
+    DISPATCH_STATS["instructions_predecoded"] += int(n_instructions)
+    by_kind = DISPATCH_STATS["fused_by_kind"]
+    for kind, count in fused.items():
+        DISPATCH_STATS["fused_pairs"] += count
+        by_kind[kind] = by_kind.get(kind, 0) + count
+
+
+def record_dispatch(dispatches: int, cache_hits: int) -> None:
+    """Record one engine run's dispatch-loop totals."""
+    DISPATCH_STATS["block_dispatches"] += int(dispatches)
+    DISPATCH_STATS["block_cache_hits"] += int(cache_hits)
+
+
+def record_block_invalidation(dropped: int) -> None:
+    """Record blocks evicted by a segment rollback/fault event."""
+    DISPATCH_STATS["blocks_invalidated"] += int(dropped)
+
+
+def dispatch_stats() -> dict:
+    out = dict(DISPATCH_STATS)
+    out["fused_by_kind"] = dict(DISPATCH_STATS["fused_by_kind"])
+    return out
+
+
+def reset_dispatch_stats() -> None:
+    for key in DISPATCH_STATS:
+        DISPATCH_STATS[key] = {} if key == "fused_by_kind" else 0
+
+
 def reset() -> None:
     """Reset every cross-process counter this module accumulates
-    (backend fallbacks and specialization-cache statistics)."""
+    (backend fallbacks, specialization-cache statistics, and
+    block-dispatch engine statistics)."""
     reset_fallbacks()
     reset_cache_stats()
+    reset_dispatch_stats()
 
 
 def record_fallback(from_backend: str, to_backend: str, reason: str) -> None:

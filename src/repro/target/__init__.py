@@ -16,10 +16,14 @@ Modules:
   incremental linker;
 * :mod:`repro.target.memory` — segmented, bounds-checked data memory;
 * :mod:`repro.target.cpu` — the CPU interpreter, the I-cache model, and
-  the :class:`~repro.target.cpu.Machine` facade.
+  the :class:`~repro.target.cpu.Machine` facade;
+* :mod:`repro.target.dispatch` — the block-dispatch execution engine
+  (predecoded superblocks, superinstruction fusion), the default way a
+  :class:`~repro.target.cpu.Machine` executes installed code.
 """
 
-from repro.target.cpu import CPU, Function, ICache, Machine
+from repro.target.cpu import CPU, ENGINES, Function, ICache, Machine
+from repro.target.dispatch import BlockEngine, MAX_BLOCK_INSTRUCTIONS
 from repro.target.isa import (
     CYCLE_COST,
     Instruction,
@@ -33,9 +37,12 @@ from repro.target.memory import Memory
 from repro.target.program import CodeSegment, Label
 
 __all__ = [
+    "BlockEngine",
     "CPU",
     "CodeSegment",
     "CYCLE_COST",
+    "ENGINES",
+    "MAX_BLOCK_INSTRUCTIONS",
     "Function",
     "ICache",
     "Instruction",

@@ -1,5 +1,16 @@
 """The CPU interpreter, the I-cache model, and the Machine facade.
 
+Two execution engines share this machine model:
+
+* ``engine="block"`` (the default) — the block-dispatch engine in
+  :mod:`repro.target.dispatch`: code is predecoded into superblocks and
+  compiled to closed-over Python functions, with fuel checked at block
+  boundaries.  Modeled cycles, final machine state, and the trap
+  taxonomy are identical to the reference by construction (the
+  differential suite in ``tests/test_engines.py`` enforces it).
+* ``engine="reference"`` — the per-instruction stepper below, kept as
+  the plainly-auditable oracle for differential testing.
+
 Execution is hardened rather than fast-and-loose:
 
 * every fault — bad memory access, illegal instruction, pc out of the
@@ -42,6 +53,11 @@ from repro.target.isa import (
     Op,
     Reg,
     disassemble_one,
+    fdiv,
+    sdiv,
+    smod,
+    udiv,
+    umod,
     unsigned32,
     wrap32,
 )
@@ -53,47 +69,17 @@ from repro.target.program import DEFAULT_CODE_CAPACITY, CodeSegment
 #: finite, so an accidental infinite loop always traps.
 DEFAULT_FUEL = 100_000_000
 
+#: Execution engine names accepted by :class:`Machine`.
+ENGINES = ("block", "reference")
+
 
 # -- instruction semantics ----------------------------------------------------------
-
-def _sdiv(x: int, y: int) -> int:
-    if y == 0:
-        raise IllegalInstruction("integer division by zero")
-    q = abs(x) // abs(y)                     # C semantics: truncate toward 0
-    return -q if (x < 0) != (y < 0) else q
-
-
-def _smod(x: int, y: int) -> int:
-    if y == 0:
-        raise IllegalInstruction("integer modulo by zero")
-    r = abs(x) % abs(y)                      # sign follows the dividend
-    return -r if x < 0 else r
-
-
-def _udiv(x: int, y: int) -> int:
-    if y == 0:
-        raise IllegalInstruction("unsigned division by zero")
-    return unsigned32(x) // unsigned32(y)
-
-
-def _umod(x: int, y: int) -> int:
-    if y == 0:
-        raise IllegalInstruction("unsigned modulo by zero")
-    return unsigned32(x) % unsigned32(y)
-
-
-def _fdiv(x: float, y: float) -> float:
-    try:
-        return x / y
-    except ZeroDivisionError:                # IEEE: x/0 is +-inf, 0/0 is nan
-        if x == 0:
-            return math.nan
-        return math.copysign(1.0, x) * math.copysign(1.0, y) * math.inf
-
+# The trapping helpers (sdiv/smod/udiv/umod/fdiv) live in isa.py, shared
+# with the block-dispatch engine.
 
 _INT_BIN = {
     Op.ADD: operator.add, Op.SUB: operator.sub, Op.MUL: operator.mul,
-    Op.DIV: _sdiv, Op.MOD: _smod, Op.DIVU: _udiv, Op.MODU: _umod,
+    Op.DIV: sdiv, Op.MOD: smod, Op.DIVU: udiv, Op.MODU: umod,
     Op.AND: operator.and_, Op.OR: operator.or_, Op.XOR: operator.xor,
     Op.SLL: lambda x, y: x << (y & 31),
     Op.SRL: lambda x, y: unsigned32(x) >> (y & 31),
@@ -115,7 +101,7 @@ del _op, _base
 
 _FLT_BIN = {
     Op.FADD: operator.add, Op.FSUB: operator.sub,
-    Op.FMUL: operator.mul, Op.FDIV: _fdiv,
+    Op.FMUL: operator.mul, Op.FDIV: fdiv,
 }
 
 _FLT_CMP = {
@@ -123,6 +109,20 @@ _FLT_CMP = {
     Op.FSLT: operator.lt, Op.FSLE: operator.le,
     Op.FSGT: operator.gt, Op.FSGE: operator.ge,
 }
+
+#: Single-probe dispatch table for the reference stepper: op -> (kind,
+#: semantics fn), replacing four separate per-iteration dict probes.
+#: Kinds: 0 int reg-form, 1 int imm-form, 2 float binop, 3 float compare.
+_STEP_TABLE = {}
+for _op, _fn in _INT_BIN.items():
+    _STEP_TABLE[_op] = (0, _fn)
+for _op, _fn in _IMM_BASE.items():
+    _STEP_TABLE[_op] = (1, _fn)
+for _op, _fn in _FLT_BIN.items():
+    _STEP_TABLE[_op] = (2, _fn)
+for _op, _fn in _FLT_CMP.items():
+    _STEP_TABLE[_op] = (3, _fn)
+del _op, _fn
 
 
 class ICache:
@@ -198,16 +198,30 @@ class Machine:
     def __init__(self, memory: Memory | None = None,
                  fuel: int | None = DEFAULT_FUEL,
                  icache: ICache | None = None,
-                 code_capacity: int = DEFAULT_CODE_CAPACITY):
+                 code_capacity: int = DEFAULT_CODE_CAPACITY,
+                 engine: str = "block"):
+        if engine not in ENGINES:
+            raise MachineError(
+                f"unknown execution engine {engine!r} "
+                f"(choose from {', '.join(ENGINES)})"
+            )
         self.memory = memory if memory is not None else Memory()
         self.code = CodeSegment(code_capacity)
         self.cpu = CPU()
         self.fuel = fuel
         self.icache = icache
+        self.engine = engine
         self.output: list = []
         self._host_functions: list = []
         self._host_index: dict = {}
         self._register_default_hostcalls()
+        if engine == "block":
+            from repro.target.dispatch import BlockEngine
+
+            self._engine = BlockEngine(self)
+            self.code.add_invalidation_listener(self._engine.on_segment_event)
+        else:
+            self._engine = None
 
     # -- host callbacks ---------------------------------------------------------
 
@@ -227,6 +241,18 @@ class Machine:
         if index is None:
             raise LinkError(f"unknown host function {name!r}")
         return index
+
+    def _host_function_for(self, index):
+        """Resolve a ``HOSTCALL`` operand to a callback, trapping (with
+        full pc/instr context via the standard annotation path) on
+        anything that is not a registered index — including malformed
+        operands and negative indices, which raw list indexing would
+        respectively reject with a bare ``TypeError`` or silently wrap
+        around to the wrong callback."""
+        fns = self._host_functions
+        if isinstance(index, int) and 0 <= index < len(fns):
+            return fns[index]
+        raise IllegalInstruction(f"hostcall index {index!r} is not registered")
 
     def _register_default_hostcalls(self) -> None:
         memory = self.memory
@@ -299,6 +325,13 @@ class Machine:
         return wrap32(cpu.regs[Reg.RV])
 
     def _run(self, entry: int, budget: int | None, name: str | None) -> None:
+        if self._engine is not None:
+            self._engine.run(entry, budget, name)
+        else:
+            self._run_reference(entry, budget, name)
+
+    def _run_reference(self, entry: int, budget: int | None,
+                       name: str | None) -> None:
         cpu = self.cpu
         regs = cpu.regs
         fregs = cpu.fregs
@@ -306,6 +339,7 @@ class Machine:
         code = self.code.instructions
         icache = self.icache
         cost = CYCLE_COST
+        step = _STEP_TABLE
         limit = math.inf if budget is None else cpu.cycles + budget
         pc = entry
         instr = None
@@ -331,16 +365,20 @@ class Machine:
                     )
                 a = instr.a
                 b = instr.b
-                fn = _INT_BIN.get(op)
-                if fn is not None:
-                    if a != 0:
-                        regs[a] = wrap32(fn(regs[b], regs[instr.c]))
-                    pc += 1
-                    continue
-                fn = _IMM_BASE.get(op)
-                if fn is not None:
-                    if a != 0:
-                        regs[a] = wrap32(fn(regs[b], instr.c))
+                handler = step.get(op)
+                if handler is not None:
+                    kind, fn = handler
+                    if kind == 0:                # int binop, register form
+                        if a != 0:
+                            regs[a] = wrap32(fn(regs[b], regs[instr.c]))
+                    elif kind == 1:              # int binop, immediate form
+                        if a != 0:
+                            regs[a] = wrap32(fn(regs[b], instr.c))
+                    elif kind == 2:              # float binop
+                        fregs[a] = fn(fregs[b], fregs[instr.c])
+                    else:                        # float compare
+                        if a != 0:
+                            regs[a] = int(fn(fregs[b], fregs[instr.c]))
                     pc += 1
                     continue
                 if op is Op.LI:
@@ -382,12 +420,7 @@ class Machine:
                 elif op is Op.RET:
                     pc = regs[Reg.RA]
                 elif op is Op.HOSTCALL:
-                    try:
-                        host_fn = self._host_functions[a]
-                    except (IndexError, TypeError):
-                        raise IllegalInstruction(
-                            f"hostcall index {a!r} is not registered"
-                        ) from None
+                    host_fn = self._host_function_for(a)
                     host_fn(cpu)
                     regs[Reg.ZERO] = 0       # a buggy callback cannot break it
                     pc += 1
@@ -437,17 +470,6 @@ class Machine:
                 elif op is Op.NOP:
                     pc += 1
                 else:
-                    fn = _FLT_BIN.get(op)
-                    if fn is not None:
-                        fregs[a] = fn(fregs[b], fregs[instr.c])
-                        pc += 1
-                        continue
-                    fn = _FLT_CMP.get(op)
-                    if fn is not None:
-                        if a != 0:
-                            regs[a] = int(fn(fregs[b], fregs[instr.c]))
-                        pc += 1
-                        continue
                     raise IllegalInstruction(
                         f"cannot execute opcode {op.name}"
                     )

@@ -20,6 +20,9 @@ Taken conditional branches cost one extra cycle (charged by the CPU).
 from __future__ import annotations
 
 import enum
+import math
+
+from repro.errors import IllegalInstruction
 
 #: Modeled size of one instruction, used by the I-cache model.
 INSTRUCTION_BYTES = 4
@@ -194,6 +197,58 @@ def _costs() -> dict:
 #: Cycles charged per executed instruction.  Taken conditional branches
 #: cost one extra cycle on top of this.
 CYCLE_COST = _costs()
+
+
+# -- shared instruction semantics ---------------------------------------------------
+# Both execution engines (the reference stepper and the block-dispatch
+# engine in :mod:`repro.target.dispatch`) must agree bit-for-bit on the
+# trapping arithmetic ops, so their semantics live here, next to the ISA.
+
+def sdiv(x: int, y: int) -> int:
+    if y == 0:
+        raise IllegalInstruction("integer division by zero")
+    q = abs(x) // abs(y)                     # C semantics: truncate toward 0
+    return -q if (x < 0) != (y < 0) else q
+
+
+def smod(x: int, y: int) -> int:
+    if y == 0:
+        raise IllegalInstruction("integer modulo by zero")
+    r = abs(x) % abs(y)                      # sign follows the dividend
+    return -r if x < 0 else r
+
+
+def udiv(x: int, y: int) -> int:
+    if y == 0:
+        raise IllegalInstruction("unsigned division by zero")
+    return unsigned32(x) // unsigned32(y)
+
+
+def umod(x: int, y: int) -> int:
+    if y == 0:
+        raise IllegalInstruction("unsigned modulo by zero")
+    return unsigned32(x) % unsigned32(y)
+
+
+def fdiv(x: float, y: float) -> float:
+    try:
+        return x / y
+    except ZeroDivisionError:                # IEEE: x/0 is +-inf, 0/0 is nan
+        if x == 0:
+            return math.nan
+        return math.copysign(1.0, x) * math.copysign(1.0, y) * math.inf
+
+
+#: Immediate-form opcode -> its register-form base (``ADDI`` -> ``ADD``).
+IMM_TO_BASE = {}
+for _op in Op:
+    if _op.name.endswith("I") and _op.name[:-1] in Op.__members__:
+        IMM_TO_BASE[_op] = Op[_op.name[:-1]]
+del _op
+
+#: Integer comparison ops (result is 0/1; they can never trap), the
+#: candidates for cmp+branch superinstruction fusion.
+COMPARE_OPS = {Op.SEQ, Op.SNE, Op.SLT, Op.SLE, Op.SGT, Op.SGE, Op.SLTU}
 
 
 class Instruction:

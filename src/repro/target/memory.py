@@ -10,7 +10,10 @@ Harvard-style).  Layout, low to high::
 
 Every access is bounds- and region-checked; violations raise
 :class:`~repro.errors.SegmentationFault`, and misaligned word accesses
-raise :class:`~repro.errors.UnalignedAccess`.  Heap exhaustion raises
+raise :class:`~repro.errors.UnalignedAccess`.  Accesses that provably lie
+entirely inside the heap or the stack take a hoisted fast path that skips
+the guard cascade — the predicate is a strict subset of the checked path,
+so observable behavior (results and traps alike) is unchanged.  Heap exhaustion raises
 :class:`~repro.errors.OutOfMemory`.  All three are
 :class:`~repro.errors.MachineError` subclasses, so callers can catch the
 whole taxonomy at once.
@@ -141,33 +144,75 @@ class Memory:
         return addr
 
     # -- scalar access ----------------------------------------------------------
+    # Every accessor tries an in-bounds fast path first: an access that
+    # lies *entirely* inside the heap or the stack (and is aligned, where
+    # alignment is required) cannot fault, so the guard cascade in
+    # ``_check`` is skipped.  Everything else — guard pages, accesses
+    # straddling a region boundary, non-integer addresses — falls through
+    # to the checked slow path, which preserves the exact trap taxonomy.
+    # The fast-path predicate is deliberately a strict subset of what the
+    # slow path accepts, so the two paths can never disagree.
 
     def load_word(self, addr: int) -> int:
+        if (type(addr) is int and not addr & 3
+                and (NULL_GUARD <= addr <= self.heap_limit - 4
+                     or self.stack_base <= addr <= self.size - 4)):
+            return int.from_bytes(self._data[addr:addr + 4], "little",
+                                  signed=True)
         addr = self._check_aligned(addr, 4, "load")
         return int.from_bytes(self._data[addr:addr + 4], "little", signed=True)
 
     def store_word(self, addr: int, value: int) -> None:
+        if (type(addr) is int and not addr & 3
+                and (NULL_GUARD <= addr <= self.heap_limit - 4
+                     or self.stack_base <= addr <= self.size - 4)):
+            self._data[addr:addr + 4] = \
+                (value & 0xFFFFFFFF).to_bytes(4, "little")
+            return
         addr = self._check_aligned(addr, 4, "store")
         self._data[addr:addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
 
     def load_byte(self, addr: int) -> int:
-        addr = self._check(addr, 1, "load")
-        value = self._data[addr]
+        if (type(addr) is int
+                and (NULL_GUARD <= addr < self.heap_limit
+                     or self.stack_base <= addr < self.size)):
+            value = self._data[addr]
+        else:
+            addr = self._check(addr, 1, "load")
+            value = self._data[addr]
         return value - 256 if value >= 128 else value
 
     def load_byte_unsigned(self, addr: int) -> int:
+        if (type(addr) is int
+                and (NULL_GUARD <= addr < self.heap_limit
+                     or self.stack_base <= addr < self.size)):
+            return self._data[addr]
         addr = self._check(addr, 1, "load")
         return self._data[addr]
 
     def store_byte(self, addr: int, value: int) -> None:
+        if (type(addr) is int
+                and (NULL_GUARD <= addr < self.heap_limit
+                     or self.stack_base <= addr < self.size)):
+            self._data[addr] = value & 0xFF
+            return
         addr = self._check(addr, 1, "store")
         self._data[addr] = value & 0xFF
 
     def load_double(self, addr: int) -> float:
+        if (type(addr) is int and not addr & 3
+                and (NULL_GUARD <= addr <= self.heap_limit - 8
+                     or self.stack_base <= addr <= self.size - 8)):
+            return struct.unpack_from("<d", self._data, addr)[0]
         addr = self._check_aligned(addr, 8, "load")
         return struct.unpack_from("<d", self._data, addr)[0]
 
     def store_double(self, addr: int, value: float) -> None:
+        if (type(addr) is int and not addr & 3
+                and (NULL_GUARD <= addr <= self.heap_limit - 8
+                     or self.stack_base <= addr <= self.size - 8)):
+            struct.pack_into("<d", self._data, addr, float(value))
+            return
         addr = self._check_aligned(addr, 8, "store")
         struct.pack_into("<d", self._data, addr, float(value))
 

@@ -114,7 +114,8 @@ class CodeSegment:
         """Register ``fn(kind, length)`` to be told when installed code may
         no longer be reused: ``("rollback", new_length)`` after a
         :meth:`release` truncation, ``("fault", None)`` when a fault is
-        injected.  Used by the specialization cache."""
+        injected.  Used by the specialization cache and by the
+        block-dispatch engine's superblock cache."""
         self._invalidation_listeners.append(fn)
 
     def _notify_invalidation(self, kind: str, length) -> None:

@@ -1,0 +1,345 @@
+"""Differential tests: the block-dispatch engine vs the reference stepper.
+
+The block engine (the default) must be observably identical to the
+reference interpreter: same results, same registers, same memory image,
+same modeled cycle counts, and the same trap taxonomy.  The one licensed
+divergence is *bounded watchdog overshoot*: a cycle-budget trap may be
+raised at a block boundary rather than mid-block, so its pc/cycles may
+sit up to one block past the reference's trap point — but whether a run
+traps at all must match the reference exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import report
+from repro.apps.table1 import TABLE1_ROWS
+from repro.errors import (
+    CycleBudgetExceeded,
+    IllegalInstruction,
+    MachineError,
+    SegmentationFault,
+    UnalignedAccess,
+)
+from repro.target.cpu import ENGINES, ICache, Machine
+from repro.target.dispatch import MAX_BLOCK_INSTRUCTIONS
+from repro.target.isa import CYCLE_COST, Instruction, Op, Reg
+from tests.conftest import compile_c
+from tests.test_program_properties import programs
+
+
+def _run_both(instrs, args=(), fuel=100_000, hosts=(), icache=False):
+    """Assemble the same program into one machine per engine and run it.
+
+    Returns ``{engine: outcome}`` where a successful outcome is
+    ``("ok", rv, cycles)`` and a trapping one is
+    ``("trap", trap_class_name, trap, cycles)``.
+    """
+    out = {}
+    for engine in ENGINES:
+        machine = Machine(fuel=fuel, engine=engine,
+                          icache=ICache() if icache else None)
+        for name, fn in hosts:
+            machine.register_host_function(name, fn)
+        entry = machine.code.extend(list(instrs))
+        machine.code.link()
+        try:
+            rv = machine.call(entry, args)
+            out[engine] = ("ok", rv, machine.cpu.cycles)
+        except MachineError as trap:
+            out[engine] = ("trap", type(trap).__name__, trap,
+                           machine.cpu.cycles)
+    return out
+
+
+def _assert_same_trap(outcomes, expected_type):
+    block, ref = outcomes["block"], outcomes["reference"]
+    assert block[0] == ref[0] == "trap", outcomes
+    assert block[1] == ref[1] == expected_type.__name__
+    b_trap, r_trap = block[2], ref[2]
+    assert str(b_trap) == str(r_trap)
+    assert b_trap.pc == r_trap.pc
+    assert b_trap.instr == r_trap.instr
+    assert block[3] == ref[3]          # cycles charged up to the trap
+
+
+# -- whole generated programs ---------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(body=programs(), a=st.integers(-50, 50), b=st.integers(-50, 50),
+       c=st.integers(-50, 50))
+def test_generated_programs_agree(body, a, b, c):
+    """Every random structured program leaves both engines in the same
+    final state: result, registers, float registers, cycles, memory."""
+    src = f"""
+    int build(void) {{
+        int vspec a = param(int, 0);
+        int vspec b = param(int, 1);
+        int vspec c = param(int, 2);
+        void cspec code = `{{
+            int i, j;
+            {body}
+            return a * 3 + b * 5 + c * 7;
+        }};
+        return (int)compile(code, int);
+    }}
+    """
+    states = {}
+    for engine in ENGINES:
+        proc = compile_c(src, backend="icode", compile_static=False,
+                         engine=engine)
+        entry = proc.run("build")
+        rv = proc.function(entry, "iii", "i")(a, b, c)
+        cpu = proc.machine.cpu
+        states[engine] = (rv, list(cpu.regs), list(cpu.fregs), cpu.cycles,
+                         bytes(proc.machine.memory._data))
+    assert states["block"] == states["reference"], body
+
+
+@pytest.mark.parametrize("backend", ["vcode", "icode"])
+def test_loop_program_agrees_per_backend(backend):
+    src = """
+    int build(void) {
+        int vspec n = param(int, 0);
+        void cspec code = `{
+            int i, acc;
+            acc = 0;
+            for (i = 1; i <= n; i++) { acc = acc + i * i; }
+            return acc;
+        };
+        return (int)compile(code, int);
+    }
+    """
+    results = {}
+    for engine in ENGINES:
+        proc = compile_c(src, backend=backend, compile_static=False,
+                         engine=engine)
+        fn = proc.function(proc.run("build"), "i", "i")
+        results[engine] = (fn(10), proc.machine.cpu.cycles)
+    assert results["block"] == results["reference"]
+    assert results["block"][0] == 385
+
+
+# -- trap taxonomy --------------------------------------------------------------
+
+def test_division_by_zero_traps_identically():
+    outcomes = _run_both([
+        Instruction(Op.LI, Reg.T0, 1),
+        Instruction(Op.DIV, Reg.RV, Reg.T0, Reg.ZERO),
+        Instruction(Op.RET),
+    ])
+    _assert_same_trap(outcomes, IllegalInstruction)
+
+
+def test_division_by_zero_into_zero_register_is_discarded():
+    """Reference semantics: a write to r0 is dropped before the divider
+    runs, so div-by-zero into r0 does NOT trap.  The block engine must
+    preserve this quirk exactly."""
+    outcomes = _run_both([
+        Instruction(Op.LI, Reg.T0, 1),
+        Instruction(Op.DIV, Reg.ZERO, Reg.T0, Reg.ZERO),
+        Instruction(Op.LI, Reg.RV, 7),
+        Instruction(Op.RET),
+    ])
+    assert outcomes["block"] == outcomes["reference"]
+    assert outcomes["block"][:2] == ("ok", 7)
+
+
+def test_null_load_traps_identically():
+    outcomes = _run_both([
+        Instruction(Op.LW, Reg.RV, Reg.ZERO, 0),
+        Instruction(Op.RET),
+    ])
+    _assert_same_trap(outcomes, SegmentationFault)
+    assert "null guard" in str(outcomes["block"][2])
+
+
+def test_unaligned_store_traps_identically():
+    outcomes = _run_both([
+        Instruction(Op.LI, Reg.T0, 0x2002),
+        Instruction(Op.SW, Reg.T0, Reg.T0, 1),
+        Instruction(Op.RET),
+    ])
+    _assert_same_trap(outcomes, UnalignedAccess)
+
+
+def test_branch_out_of_code_range_traps_identically():
+    outcomes = _run_both([
+        Instruction(Op.JMP, 99_999),
+    ])
+    _assert_same_trap(outcomes, SegmentationFault)
+
+
+# -- watchdog taxonomy ----------------------------------------------------------
+
+def _countdown(n):
+    # On a fresh machine pc 0 holds the top-level HALT, so extend() places
+    # these at pc 1..4; the branch targets the SUBI at pc 2.
+    return [
+        Instruction(Op.LI, Reg.T0, n),
+        Instruction(Op.SUBI, Reg.T0, Reg.T0, 1),
+        Instruction(Op.BNEZ, Reg.T0, 2),
+        Instruction(Op.RET),
+    ]
+
+
+def test_watchdog_taxonomy_matches_reference_exactly():
+    """Whether a run exhausts its budget is a yes/no the two engines must
+    answer identically for EVERY fuel value, even though the block engine
+    only checks at block boundaries."""
+    ref = Machine(engine="reference")
+    entry = ref.code.extend(_countdown(6))
+    ref.code.link()
+    ref.call(entry)
+    exact = ref.cpu.cycles          # precise cost of the whole run
+
+    for fuel in range(exact - 3, exact + 2):
+        outcomes = _run_both(_countdown(6), fuel=fuel)
+        block, reference = outcomes["block"], outcomes["reference"]
+        assert block[0] == reference[0], (fuel, exact, outcomes)
+        if reference[0] == "trap":
+            assert block[1] == reference[1] == "CycleBudgetExceeded"
+        else:
+            assert block == reference   # success: cycles equal too
+
+
+def test_watchdog_overshoot_is_bounded():
+    """A budget trap may land past the limit, but never by more than one
+    maximal block."""
+    machine = Machine(fuel=500, engine="block")
+    entry = machine.code.extend(_countdown(1_000_000))
+    machine.code.link()
+    with pytest.raises(CycleBudgetExceeded, match="budget"):
+        machine.call(entry)
+    bound = 500 + MAX_BLOCK_INSTRUCTIONS * max(CYCLE_COST.values())
+    assert machine.cpu.cycles <= bound
+
+
+# -- icache ---------------------------------------------------------------------
+
+def test_icache_cycles_identical_across_engines():
+    outcomes = _run_both(_countdown(40), icache=True)
+    assert outcomes["block"] == outcomes["reference"]
+
+
+def test_attaching_icache_mid_machine_rebuilds_blocks():
+    """The engine environment is rebuilt when machine.icache changes, so
+    already-cached penalty-free blocks cannot leak stale cycle counts."""
+    results = {}
+    for engine in ENGINES:
+        machine = Machine(engine=engine)
+        entry = machine.code.extend(_countdown(12))
+        machine.code.link()
+        machine.call(entry)
+        cold = machine.cpu.cycles
+        machine.icache = ICache()
+        machine.call(entry)
+        results[engine] = (cold, machine.cpu.cycles)
+    assert results["block"] == results["reference"]
+
+
+# -- host calls -----------------------------------------------------------------
+
+def test_hostcall_agreement():
+    for engine in ENGINES:
+        seen = []
+        machine = Machine(engine=engine)
+        idx = machine.register_host_function(
+            "probe", lambda cpu: seen.append(cpu.regs[Reg.A0]))
+        entry = machine.code.extend([
+            Instruction(Op.LI, Reg.A0, 33),
+            Instruction(Op.HOSTCALL, idx),
+            Instruction(Op.LI, Reg.RV, 1),
+            Instruction(Op.RET),
+        ])
+        machine.code.link()
+        assert machine.call(entry) == 1
+        assert seen == [33], engine
+        assert machine.cpu.regs[Reg.ZERO] == 0
+
+
+@pytest.mark.parametrize("bad_index", [-1, 99, None])
+def test_hostcall_bad_index_traps_identically(bad_index):
+    """Unregistered, negative, and malformed hostcall operands all take
+    the standard trap-annotation path on both engines (a negative index
+    used to silently wrap around into the wrong host function)."""
+    outcomes = _run_both(
+        [Instruction(Op.HOSTCALL, bad_index), Instruction(Op.RET)],
+        hosts=[("only", lambda cpu: None)])
+    _assert_same_trap(outcomes, IllegalInstruction)
+    trap = outcomes["block"][2]
+    assert "not registered" in str(trap)
+    assert trap.pc == 1
+    assert trap.instr is not None
+
+
+# -- block-cache invalidation ---------------------------------------------------
+
+def test_rollback_invalidates_rolled_back_blocks_only():
+    report.reset()
+    machine = Machine(engine="block")
+    e1 = machine.code.extend([Instruction(Op.LI, Reg.RV, 1),
+                              Instruction(Op.RET)])
+    machine.code.link()
+    assert machine.call(e1) == 1
+
+    machine.code.mark()
+    e2 = machine.code.extend([Instruction(Op.LI, Reg.RV, 2),
+                              Instruction(Op.RET)])
+    machine.code.link()
+    assert machine.call(e2) == 2
+
+    machine.code.release()
+    e3 = machine.code.extend([Instruction(Op.LI, Reg.RV, 3),
+                              Instruction(Op.RET)])
+    machine.code.link()
+    assert e3 == e2                      # same addresses, new instructions
+    assert machine.call(e3) == 3         # a stale block here would return 2
+    assert report.dispatch_stats()["blocks_invalidated"] >= 1
+
+    # The block below the rollback point survived and is still correct.
+    hits_before = report.dispatch_stats()["block_cache_hits"]
+    assert machine.call(e1) == 1
+    assert report.dispatch_stats()["block_cache_hits"] > hits_before
+
+
+def test_fault_injection_clears_the_block_cache():
+    report.reset()
+    machine = Machine(engine="block")
+    entry = machine.code.extend([Instruction(Op.LI, Reg.RV, 9),
+                                 Instruction(Op.RET)])
+    machine.code.link()
+    assert machine.call(entry) == 9
+    compiled = report.dispatch_stats()["blocks_compiled"]
+
+    machine.code.inject_emit_failure(nth=99)   # fires the "fault" event
+    assert report.dispatch_stats()["blocks_invalidated"] >= 1
+    assert machine.call(entry) == 9            # recompiled, still correct
+    assert report.dispatch_stats()["blocks_compiled"] > compiled
+
+
+def test_tier2_patched_code_composes_with_cached_blocks():
+    """Tier-2 copy-and-patch appends clones past the link horizon, so
+    previously cached blocks stay valid alongside the patched code."""
+    report.reset()
+    source = TABLE1_ROWS["one large cspec, dynamic locals"]()
+    proc = compile_c(source, backend="icode")     # spec cache defaults on
+    f1 = proc.function(proc.run("build", 5), "i", "i")
+    first = [f1(arg) for arg in (0, 1, 9)]
+    f2 = proc.function(proc.run("build", 7), "i", "i")   # Tier-2 clone
+    assert report.cache_stats()["patched"] >= 1
+
+    oracle = compile_c(source, backend="icode", codecache=False)
+    f_oracle = oracle.function(oracle.run("build", 7), "i", "i")
+    for arg in (0, 1, 9):
+        assert f2(arg) == f_oracle(arg)
+    assert [f1(arg) for arg in (0, 1, 9)] == first   # old blocks still valid
+
+
+def test_engine_knob_is_validated():
+    with pytest.raises(MachineError, match="unknown execution engine"):
+        Machine(engine="turbo")
+    assert Machine(engine="reference")._engine is None
+    assert Machine().engine == "block"

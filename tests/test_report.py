@@ -4,6 +4,8 @@ expensive figures are exercised by benchmarks/)."""
 import pytest
 
 from repro import report
+from repro.target.cpu import Machine
+from repro.target.isa import Instruction, Op, Reg
 
 
 def test_usedops_report_renders():
@@ -28,3 +30,26 @@ def test_main_runs_named_report(capsys):
     assert report.main(["usedops"]) == 0
     out = capsys.readouterr().out
     assert "reduction" in out or "pruned" in out
+
+
+def test_reset_clears_dispatch_counters():
+    """report.reset() must zero the block-dispatch counters too, or one
+    benchmark's fusion/cache numbers bleed into the next."""
+    report.reset()
+    machine = Machine()                    # block engine is the default
+    entry = machine.code.extend([
+        Instruction(Op.LI, Reg.RV, 5),
+        Instruction(Op.RET),
+    ])
+    machine.code.link()
+    assert machine.call(entry) == 5
+
+    stats = report.dispatch_stats()
+    assert stats["blocks_compiled"] >= 1
+    assert stats["instructions_predecoded"] >= 2
+    assert stats["block_dispatches"] >= 1
+
+    report.reset()
+    stats = report.dispatch_stats()
+    assert all(v == 0 for k, v in stats.items() if k != "fused_by_kind")
+    assert stats["fused_by_kind"] == {}
