@@ -45,7 +45,7 @@ def test_fig5_crossover(benchmark, name):
         # verify the accumulated gain covers the codegen cost
         return x
 
-    crossover = benchmark.pedantic(run_until_amortized, rounds=1, iterations=1)
+    benchmark.pedantic(run_until_amortized, rounds=1, iterations=1)
     r = cached_measure(name)
     expected_max = EXPECTED_MAX[name]
     if expected_max is None:

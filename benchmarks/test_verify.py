@@ -1,0 +1,115 @@
+"""Host-time benchmark: the verifier suite's overhead across the paper apps.
+
+Runs the full pipeline (static compile, process start, specialization,
+one dynamic call) for every Figure-4 benchmark under ``verify="off"`` and
+``verify="paranoid"`` and records:
+
+* per-app host seconds for both modes and the relative overhead;
+* verifier counters (checks run, diagnostics by layer, time in checkers).
+
+Acceptance: paranoid mode reports **zero diagnostics** over all eleven
+apps (the verifiers never cry wolf on correct code), produces identical
+results, and costs < 15% extra host wall time overall.  Results go to
+``BENCH_verify.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+from repro import report
+from repro.apps import ALL_APPS, FIGURE4_APPS
+from repro.core.driver import TccCompiler
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_verify.json"
+
+_RESULTS: dict = {"apps": {}}
+
+#: Wall-time overhead budget for paranoid mode, summed over all apps.
+MAX_OVERHEAD = 0.15
+
+
+def _run_app(app, mode: str):
+    """Full pipeline under one verify mode; returns (seconds, result).
+
+    GC is disabled inside the timed region (as pytest-benchmark does):
+    a collection triggered mid-run would bill one mode for garbage the
+    other produced."""
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        prog = TccCompiler(verify=mode).compile(app.source,
+                                                filename=f"<{app.name}>")
+        proc = prog.start(backend="icode", codecache=False, verify=mode)
+        ctx = app.setup(proc)
+        entry = proc.run(app.builder, *app.builder_args(ctx))
+        fn = proc.function(entry, app.dyn_signature, app.dyn_returns)
+        result = app.dyn_call(fn, ctx)
+        return time.perf_counter() - t0, result
+    finally:
+        gc.enable()
+
+
+def _best_runs(app, rounds: int = 5):
+    """Best-of-N for both modes, rounds interleaved so that transient host
+    load inflates both sides equally rather than skewing the ratio."""
+    best = {"off": float("inf"), "paranoid": float("inf")}
+    result = {}
+    for _ in range(rounds):
+        for mode in ("off", "paranoid"):
+            seconds, result[mode] = _run_app(app, mode)
+            best[mode] = min(best[mode], seconds)
+    return best["off"], result["off"], best["paranoid"], result["paranoid"]
+
+
+def test_paranoid_overhead_and_zero_diagnostics():
+    totals = {"off": 0.0, "paranoid": 0.0}
+    for name in FIGURE4_APPS:
+        app = ALL_APPS[name]
+        report.reset()
+        off_s, off_result, par_s, par_result = _best_runs(app)
+        stats = report.verify_stats()
+
+        assert par_result == off_result, name
+        assert stats["checks_run"] > 0, name
+        # No layer may report anything on correct code (a diagnostic would
+        # have raised VerifyError already; the counters double-check).
+        assert all(n == 0 for n in stats["diagnostics"].values()), (
+            name, stats)
+
+        totals["off"] += off_s
+        totals["paranoid"] += par_s
+        _RESULTS["apps"][name] = {
+            "off_s": round(off_s, 6),
+            "paranoid_s": round(par_s, 6),
+            "overhead": round(par_s / off_s - 1.0, 4),
+            "checks_run": stats["checks_run"],
+            "verify_time_s": round(stats["time_seconds"], 6),
+        }
+
+    overhead = totals["paranoid"] / totals["off"] - 1.0
+    _RESULTS["total"] = {
+        "off_s": round(totals["off"], 6),
+        "paranoid_s": round(totals["paranoid"], 6),
+        "overhead": round(overhead, 4),
+    }
+    assert overhead < MAX_OVERHEAD, _RESULTS["total"]
+
+
+def test_write_bench_json():
+    """Persist the comparison (runs after the case above)."""
+    assert _RESULTS["apps"], "verify benchmark did not run"
+    payload = dict(_RESULTS)
+    payload["description"] = (
+        "Verifier-suite benchmark: host seconds for the full pipeline "
+        "(static compile, start, specialization, one dynamic call) per "
+        "Figure-4 app under verify=off vs verify=paranoid, with verifier "
+        "counters.  Acceptance: zero diagnostics on correct code and "
+        f"< {MAX_OVERHEAD:.0%} total wall-time overhead."
+    )
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    assert BENCH_PATH.exists()

@@ -55,6 +55,7 @@ from repro.errors import (
     TccError,
     TypeError_,
     UnalignedAccess,
+    VerifyError,
 )
 from repro.target.cpu import Function, ICache, Machine
 from repro.target.memory import Memory
@@ -85,5 +86,6 @@ __all__ = [
     "CodeSegmentExhausted",
     "OutOfMemory",
     "LinkError",
+    "VerifyError",
     "__version__",
 ]

@@ -48,7 +48,6 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.core.operands import FuncRef
 from repro.runtime.closures import ClosureSignature, signature_of
 from repro.runtime.costmodel import Phase
 from repro.target.isa import Instruction, wrap32

@@ -35,6 +35,7 @@ from repro.errors import (
     CodeSegmentExhausted,
     RuntimeTccError,
     TccError,
+    VerifyError,
 )
 from repro.frontend import cast, parse, analyze
 from repro.frontend.sema import BUILTINS
@@ -45,6 +46,7 @@ from repro.runtime.costmodel import CostModel, Phase
 from repro.target.cpu import Function, Machine
 from repro.target.isa import wrap32
 from repro.vcode.machine import VcodeBackend
+from repro.verify import codeaudit, resolve_mode, ticklint
 
 
 class BackendKind(enum.Enum):
@@ -76,16 +78,26 @@ void memset(char *dst, int value, int n) {
 
 
 class TccCompiler:
-    """Static compiler for `C translation units."""
+    """Static compiler for `C translation units.
 
-    def __init__(self, include_prelude: bool = True):
+    ``verify`` selects the static-analysis mode (``"off"``/``"dev"``/
+    ``"paranoid"``; None defers to ``$REPRO_VERIFY``, default ``"dev"``).
+    Any mode other than ``"off"`` runs the tick-expression lint
+    (:mod:`repro.verify.ticklint`) after semantic analysis, so dynamic-code
+    bugs like use-before-specialization surface at *static* compile time.
+    """
+
+    def __init__(self, include_prelude: bool = True, verify: str = None):
         self.include_prelude = include_prelude
+        self.verify = verify
 
     def compile(self, source: str, filename: str = "<source>") -> "CompiledProgram":
-        """Parse, type-check, and statically lower ``source``."""
+        """Parse, type-check, lint, and statically lower ``source``."""
         if self.include_prelude:
             source = self._merge_prelude(source)
         tu = analyze(parse(source, filename))
+        if resolve_mode(self.verify) != "off":
+            ticklint.run(tu)
         for fn in tu.functions.values():
             for tick in fn.ticks:
                 tick.cgf = CGF(tick, fn.name)
@@ -133,6 +145,10 @@ class CompiledProgram:
                           (default True; ignored when ``codecache`` is off)
         ``spec_fuel``     spec-time interpreter step budget per ``run()``
                           (None = unlimited)
+        ``verify``        static-analysis mode: "off", "dev" (allocation
+                          check + install audit), or "paranoid" (adds the
+                          inter-pass IR verifier).  Defaults to
+                          ``$REPRO_VERIFY``, else "dev".
 
         When no ``machine`` is supplied, these options configure the fresh
         one:
@@ -178,6 +194,7 @@ class Process:
         self.backend_kind = backend
         self.regalloc = options.get("regalloc", "linear")
         self.static_opt = options.get("static_opt", "lcc")
+        self.verify = resolve_mode(options.get("verify"))
         self.cost = CostModel()          # dynamic-compilation accounting
         self.static_cost = CostModel()   # static compilation (not reported)
         self.closure_arena = Arena(name="closures")
@@ -262,15 +279,21 @@ class Process:
     def _compile_static_functions(self) -> None:
         compilable = self.compilable_functions()
         global_env = static_backend.build_global_env(self.global_cells)
+        static_start = self.machine.code.here
         for name in compilable:
             fn = self.program.tu.functions[name]
             entry = static_backend.compile_static_function(
                 self.machine, self.static_cost, fn, global_env,
                 self.intern_string, opt=self.static_opt, do_link=False,
-                options=self.options,
+                options=self.options, verify=self.verify,
             )
             self._static_entries[name] = entry
         self.machine.code.link()
+        if self.verify != "off":
+            # The per-function installs deferred linking, so audit the
+            # whole statically compiled region after the batched link.
+            codeaudit.run_range(self.machine, static_start,
+                                self.machine.code.here, where="static")
 
     def compilable_functions(self) -> list:
         """Names of functions the static back end can compile: defined,
@@ -342,11 +365,13 @@ class Process:
             return VcodeBackend(
                 self.machine, self.cost,
                 allow_spills=self.options.get("allow_spills", True),
+                verify=self.verify,
             )
         return IcodeBackend(
             self.machine, self.cost, regalloc=self.regalloc,
             optimize_ir=self.options.get("optimize_dynamic_ir", True),
             use_peephole=self.options.get("dynamic_peephole", True),
+            verify=self.verify,
         )
 
     def compile_closure(self, closure, ret_type) -> int:
@@ -377,7 +402,7 @@ class Process:
             indices = [v.index for v in params]
             if indices != list(range(len(params))):
                 raise CodegenError(
-                    f"dynamic parameters must use dense indices 0..n-1, got "
+                    "dynamic parameters must use dense indices 0..n-1, got "
                     f"{indices}"
                 )
             signature = None
@@ -401,6 +426,7 @@ class Process:
                 fallback = VcodeBackend(
                     self.machine, self.cost,
                     allow_spills=self.options.get("allow_spills", True),
+                    verify=self.verify,
                 )
                 entry = self._instantiate(fallback, closure, ret_type,
                                           params, None)
@@ -468,10 +494,20 @@ class Process:
             entry = cache.instantiate_template(template, signature, machine,
                                                self.cost)
             machine.code.link()
+            if self.verify != "off":
+                codeaudit.run_template(machine, template, signature, entry,
+                                       where=f"template@{entry}")
+                codeaudit.run_range(machine, entry, machine.code.here,
+                                    where=f"template@{entry}")
         except CodeSegmentExhausted:
             machine.code.release()
             self.cost.begin_instantiation()  # discard partial charges
             return None
+        except VerifyError:
+            # A mis-patched clone is a genuine bug: unpublish it, then
+            # surface the diagnostics rather than silently falling back.
+            machine.code.release()
+            raise
         machine.code.commit()
         cache.store_patched(signature, template, entry, machine.code.here)
         self.last_codegen_stats = self.cost.end_instantiation()

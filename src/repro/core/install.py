@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.runtime.costmodel import Phase
 from repro.target.isa import ALLOCATABLE_FREGS, Instruction, Op, Reg
+from repro.verify import codeaudit
 
 #: Byte offset of the float save area and of the first spill slot.
 FREG_SAVE_BASE = 56
@@ -62,7 +63,7 @@ def build_prologue_epilogue(used_sregs, used_fregs, has_call: bool,
 
 def install_function(machine, cost, body, labels, epilogue_label,
                      used_sregs, used_fregs, has_call, n_spill_slots,
-                     name=None, do_link=True, recorder=None):
+                     name=None, do_link=True, recorder=None, verify="off"):
     """Install a generated function body into the machine's code segment.
 
     ``labels`` hold *relative* addresses (indices into ``body``);
@@ -73,6 +74,11 @@ def install_function(machine, cost, body, labels, epilogue_label,
     scans the installed range pre-link (Label operands are still objects,
     so relocation sites can be recorded) and snapshots it post-link as a
     reusable template.
+
+    ``verify`` (``"off"``/``"dev"``/``"paranoid"``): any mode other than
+    ``"off"`` audits the freshly linked range before it is published (see
+    :mod:`repro.verify.codeaudit`); installs that defer linking
+    (``do_link=False``) are audited by the caller after the batched link.
     """
     prologue, epilogue = build_prologue_epilogue(
         used_sregs, used_fregs, has_call, n_spill_slots
@@ -100,6 +106,9 @@ def install_function(machine, cost, body, labels, epilogue_label,
             cost.charge(Phase.LINK, "patch", max(patched, 1))
     if recorder is not None and do_link:
         recorder.snapshot(segment)
+    if verify != "off" and do_link:
+        codeaudit.run_range(machine, base, segment.here,
+                            where=name or f"fn@{entry}")
     if cost is not None:
         cost.note_instruction(len(prologue) + len(epilogue))
     return entry

@@ -29,7 +29,7 @@ from repro.errors import CodegenError
 from repro.frontend import cast
 from repro.frontend import typesys as T
 from repro.frontend.sema import Builtin
-from repro.runtime.closures import CaptureKind, Vspec
+from repro.runtime.closures import Vspec
 from repro.runtime.costmodel import Phase
 from repro.target.isa import wrap32
 
@@ -296,7 +296,9 @@ class CodeGen:
                 self.ctx.env[id(decl)] = lv
                 return lv
             cls = cls_of(ty)
-            lv = RegLV(self.backend.alloc_reg(cls), cls, is_vspec=True)
+            storage = self.backend.alloc_reg(cls)
+            self.backend.note_storage(storage)
+            lv = RegLV(storage, cls, is_vspec=True)
             self.ctx.env[id(decl)] = lv
             return lv
         raise CodegenError(f"no storage for {getattr(decl, 'name', decl)!r}")
@@ -318,7 +320,6 @@ class CodeGen:
                 else:
                     self.backend.li(lv.handle, val.value)
             else:
-                op = "fmov" if lv.cls == "f" else "mov"
                 if val.handle is not lv.handle:
                     if lv.cls == "f":
                         self.backend.funop("fmov", lv.handle, val.handle)

@@ -18,7 +18,6 @@ from __future__ import annotations
 from repro.core.lowering import CodeGen, EmitCtx, MemLV, RegLV, cls_of, width_of
 from repro.errors import CodegenError
 from repro.frontend import cast
-from repro.frontend import typesys as T
 from repro.icode.backend import IcodeBackend
 
 #: Optimization-level presets: (regalloc, optimize_ir, use_peephole).
@@ -31,7 +30,7 @@ OPT_LEVELS = {
 def compile_static_function(machine, cost, fn: cast.FuncDef, global_env,
                             intern_string, opt: str = "lcc",
                             do_link: bool = True,
-                            options=None) -> int:
+                            options=None, verify: str = "off") -> int:
     """Compile one C function; return its entry address.
 
     ``global_env`` maps ``id(decl)`` of globals to their ``MemLV``.
@@ -45,7 +44,7 @@ def compile_static_function(machine, cost, fn: cast.FuncDef, global_env,
     regalloc, optimize_ir, use_peephole = OPT_LEVELS[opt]
     backend = IcodeBackend(
         machine, cost, regalloc=regalloc, optimize_ir=optimize_ir,
-        use_peephole=use_peephole,
+        use_peephole=use_peephole, verify=verify,
     )
     ctx = EmitCtx(machine, cost, backend, fn.ty.ret, intern_string, options)
     ctx.env.update(global_env)
@@ -105,7 +104,9 @@ def _bind_locals(ctx, backend, machine, fn: cast.FuncDef) -> None:
                 ctx.env[id(decl)] = MemLV(None, addr, width_of(ty), cls_of(ty))
             else:
                 cls = cls_of(ty)
-                ctx.env[id(decl)] = RegLV(backend.alloc_reg(cls), cls)
+                storage = backend.alloc_reg(cls)
+                backend.note_storage(storage)
+                ctx.env[id(decl)] = RegLV(storage, cls)
 
 
 def build_global_env(global_cells) -> dict:

@@ -147,3 +147,22 @@ class OutOfMemory(MachineError):
 
 class LinkError(TccError):
     """Unresolved symbol or label at link time."""
+
+
+class VerifyError(TccError):
+    """A verifier layer (see :mod:`repro.verify`) rejected the program or
+    the code a pass produced.
+
+    ``layer`` names the layer that fired (``"ticklint"``, ``"ircheck"``,
+    ``"regcheck"``, or ``"codeaudit"``); ``diagnostics`` is the non-empty
+    list of :class:`repro.verify.Diagnostic` records, each carrying a rule
+    name, a message, and — for tick-lint findings — a
+    :class:`SourceLocation`.
+    """
+
+    def __init__(self, layer: str, diagnostics):
+        self.layer = layer
+        self.diagnostics = list(diagnostics)
+        lines = [f"{layer}: {len(self.diagnostics)} verifier diagnostic(s)"]
+        lines.extend(f"  {diag}" for diag in self.diagnostics)
+        super().__init__("\n".join(lines))

@@ -644,7 +644,7 @@ class Parser:
 
     def parse_initializer(self):
         if self.at_punct("{"):
-            loc = self.next().loc
+            self.next()
             items = []
             if not self.at_punct("}"):
                 items.append(self.parse_initializer())
@@ -666,7 +666,6 @@ class Parser:
         seen_default = False
         while not self.at_punct("}"):
             if self.accept_keyword("case"):
-                case_loc = self.peek().loc
                 value = self.parse_constant_int()
                 self.expect_punct(":")
                 cases.append((value, []))

@@ -40,6 +40,7 @@ from repro.target.isa import (
     Reg,
 )
 from repro.target.program import Label
+from repro.verify import ircheck, regcheck
 
 _BINOPS = {
     "add": (Op.ADD, Op.ADDI),
@@ -90,7 +91,8 @@ class IcodeBackend:
     kind = "icode"
 
     def __init__(self, machine, cost, regalloc: str = "linear",
-                 optimize_ir: bool = False, use_peephole: bool = True):
+                 optimize_ir: bool = False, use_peephole: bool = True,
+                 verify: str = "off"):
         if regalloc not in ("linear", "color"):
             raise ValueError(f"unknown register allocator {regalloc!r}")
         self.machine = machine
@@ -98,6 +100,8 @@ class IcodeBackend:
         self.regalloc = regalloc
         self.optimize_ir = optimize_ir
         self.use_peephole = use_peephole
+        self.verify = verify
+        self.storage_vregs: set = set()
         self.ir = IRFunction()
         self.labels: list[Label] = []
         self.epilogue_label = Label("epilogue")
@@ -121,10 +125,18 @@ class IcodeBackend:
     def free_reg(self, handle) -> None:
         pass  # infinite register file
 
+    def note_storage(self, handle) -> None:
+        """Mark ``handle`` as backing a C variable.  Uninitialized locals
+        are legal to read, so the IR verifier exempts storage vregs from
+        its undefined-vreg rule."""
+        if isinstance(handle, VReg):
+            self.storage_vregs.add(handle)
+
     def vspec_storage(self, vspec) -> VReg:
         handle = self._vspec_storage.get(id(vspec))
         if handle is None:
             handle = self.alloc_reg(vspec.cls)
+            self.note_storage(handle)
             self._vspec_storage[id(vspec)] = handle
         return handle
 
@@ -252,11 +264,22 @@ class IcodeBackend:
             raise CodegenError("backend already installed its function")
         self._installed = True
         cost = self.cost
+        paranoid = self.verify == "paranoid"
+        storage = frozenset(self.storage_vregs)
+        if paranoid:
+            ircheck.run_ir(self.ir, "lowering", storage)
         if self.optimize_ir:
+            verifier = None
+            if paranoid:
+                def verifier(pass_name):
+                    ircheck.run_ir(self.ir, pass_name, storage)
             optim.optimize(self.ir, build_flowgraph, compute_liveness,
-                           cost=cost, recorder=self.recorder)
+                           cost=cost, recorder=self.recorder,
+                           verifier=verifier)
         fg = build_flowgraph(self.ir, cost)
         compute_liveness(fg, cost)
+        if paranoid:
+            ircheck.run_flowgraph(self.ir, fg, "flowgraph")
         # The paper's accounting: live-interval setup is part of linear
         # scan's cost; the colorer builds an interference graph instead
         # (charged inside graph_color) and only uses the interval records
@@ -290,16 +313,25 @@ class IcodeBackend:
                 slot_alloc, cost,
             )
         self.spills = spilled
+        if self.verify != "off":
+            regcheck.run(self.ir, intervals,
+                         where=f"{self.regalloc} allocation")
 
         body, used_sregs, used_fregs, has_call = self._translate(intervals)
+        if paranoid:
+            ircheck.run_body(body, self.labels, self.epilogue_label,
+                             "translate")
         if self.use_peephole:
             body = peephole(body, self.labels, self.epilogue_label)
+            if paranoid:
+                ircheck.run_body(body, self.labels, self.epilogue_label,
+                                 "peephole")
         self.body = body
         cost.note_instruction(len(body))
         return install_function(
             self.machine, cost, body, self.labels, self.epilogue_label,
             used_sregs, used_fregs, has_call, slot_counter[0], name, do_link,
-            recorder=self.recorder,
+            recorder=self.recorder, verify=self.verify,
         )
 
     # -- IR -> target translation -------------------------------------------------------

@@ -85,18 +85,3 @@ def linear_scan(intervals, registers, slot_alloc, cost=None) -> int:
         else:
             interval.location = slot_alloc()
     return spilled
-
-
-def check_allocation(intervals) -> None:
-    """Assert the invariant linear scan must establish: no two overlapping
-    intervals share a physical register.  Used by tests and debug builds."""
-    by_reg: dict = {}
-    for interval in intervals:
-        if interval.reg is None:
-            continue
-        for other in by_reg.get(interval.reg, ()):
-            if interval.overlaps(other):
-                raise AssertionError(
-                    f"{interval} and {other} overlap in r{interval.reg}"
-                )
-        by_reg.setdefault(interval.reg, []).append(interval)

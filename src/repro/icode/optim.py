@@ -181,12 +181,14 @@ def eliminate_dead_code(ir, fg) -> int:
 
 
 def optimize(ir, fg_builder, liveness_fn, rounds: int = 3, cost=None,
-             recorder=None) -> None:
+             recorder=None, verifier=None) -> None:
     """Run propagation + DCE to a (bounded) fixpoint.  ``fg_builder`` and
-    ``liveness_fn`` are injected to avoid circular imports."""
+    ``liveness_fn`` are injected to avoid circular imports.  ``verifier``,
+    when given, is called with a pass name after every optimization round
+    so paranoid mode can re-check IR well-formedness between passes."""
     from repro.runtime.costmodel import Phase
 
-    for _ in range(rounds):
+    for round_no in range(rounds):
         if cost is not None:
             cost.charge(Phase.IR, "optimize", len(ir.instrs))
         fg = fg_builder(ir, None)
@@ -196,5 +198,10 @@ def optimize(ir, fg_builder, liveness_fn, rounds: int = 3, cost=None,
         fg = fg_builder(ir, None)
         liveness_fn(fg, None)
         work += eliminate_dead_code(ir, fg)
+        # A round that changed nothing left the IR bit-identical to the
+        # version the previous boundary already checked: re-verifying it
+        # would prove nothing.
+        if verifier is not None and work != 0:
+            verifier(f"optimize[{round_no}]")
         if work == 0:
             return

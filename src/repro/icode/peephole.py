@@ -15,7 +15,7 @@ Rules:
 
 from __future__ import annotations
 
-from repro.target.isa import Instruction, Op
+from repro.target.isa import Op
 
 
 def peephole(body, labels, epilogue_label):

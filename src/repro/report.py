@@ -123,13 +123,45 @@ def reset_dispatch_stats() -> None:
         DISPATCH_STATS[key] = {} if key == "fused_by_kind" else 0
 
 
+#: Verifier-suite counters, fed by :mod:`repro.verify`: total checks run,
+#: diagnostics raised per layer, and wall time spent inside the verifiers.
+VERIFY_STATS = {
+    "checks_run": 0,
+    "diagnostics": {"ticklint": 0, "ircheck": 0, "regcheck": 0,
+                    "codeaudit": 0},
+    "time_seconds": 0.0,
+}
+
+
+def record_verify(layer: str, n_diagnostics: int, seconds: float) -> None:
+    """Record one verifier check (one layer invocation)."""
+    VERIFY_STATS["checks_run"] += 1
+    by_layer = VERIFY_STATS["diagnostics"]
+    by_layer[layer] = by_layer.get(layer, 0) + int(n_diagnostics)
+    VERIFY_STATS["time_seconds"] += float(seconds)
+
+
+def verify_stats() -> dict:
+    out = dict(VERIFY_STATS)
+    out["diagnostics"] = dict(VERIFY_STATS["diagnostics"])
+    return out
+
+
+def reset_verify_stats() -> None:
+    VERIFY_STATS["checks_run"] = 0
+    VERIFY_STATS["diagnostics"] = {"ticklint": 0, "ircheck": 0,
+                                   "regcheck": 0, "codeaudit": 0}
+    VERIFY_STATS["time_seconds"] = 0.0
+
+
 def reset() -> None:
     """Reset every cross-process counter this module accumulates
-    (backend fallbacks, specialization-cache statistics, and
-    block-dispatch engine statistics)."""
+    (backend fallbacks, specialization-cache statistics, block-dispatch
+    engine statistics, and verifier statistics)."""
     reset_fallbacks()
     reset_cache_stats()
     reset_dispatch_stats()
+    reset_verify_stats()
 
 
 def record_fallback(from_backend: str, to_backend: str, reason: str) -> None:

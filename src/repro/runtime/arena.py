@@ -35,7 +35,7 @@ class Arena:
         if not isinstance(align, int) or align < 1 or align & (align - 1):
             raise RuntimeTccError(
                 f"{self.name}: alignment {align!r} is not a positive "
-                f"power of two"
+                "power of two"
             )
         self.allocations += 1
         self.bytes_allocated += nbytes

@@ -147,7 +147,7 @@ class ICache:
             )
         if size_bytes < line_bytes or size_bytes % line_bytes:
             raise ValueError(
-                f"size_bytes must be a positive multiple of line_bytes, "
+                "size_bytes must be a positive multiple of line_bytes, "
                 f"got {size_bytes}"
             )
         self.size_bytes = size_bytes
@@ -361,7 +361,7 @@ class Machine:
                 if cpu.cycles > limit:
                     raise CycleBudgetExceeded(
                         f"cycle budget of {budget} exceeded: runaway "
-                        f"execution halted by the watchdog"
+                        "execution halted by the watchdog"
                     )
                 a = instr.a
                 b = instr.b

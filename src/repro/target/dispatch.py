@@ -658,7 +658,7 @@ class BlockEngine:
                         cpu.pc = pc
                     raise CycleBudgetExceeded(
                         f"cycle budget of {budget} exceeded: runaway "
-                        f"execution halted by the watchdog"
+                        "execution halted by the watchdog"
                     )
                 if pc is None:
                     return

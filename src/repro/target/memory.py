@@ -125,7 +125,7 @@ class Memory:
         if addr < NULL_GUARD:
             raise SegmentationFault(
                 f"{what} of {width} bytes at {addr:#x} hits the null guard "
-                f"page"
+                "page"
             )
         if self.heap_limit <= addr < self.stack_base:
             raise SegmentationFault(
@@ -139,7 +139,7 @@ class Memory:
         if addr % 4:
             raise UnalignedAccess(
                 f"unaligned {what} of {width} bytes at {addr:#x} "
-                f"(4-byte alignment required)"
+                "(4-byte alignment required)"
             )
         return addr
 
@@ -259,4 +259,4 @@ class Memory:
     def __repr__(self) -> str:
         return (f"<Memory {self.size} bytes, heap "
                 f"{self._ptr - self.heap_base}/{self.heap_limit - self.heap_base} "
-                f"used>")
+                "used>")

@@ -18,6 +18,7 @@ from repro.core.codecache import imm_float, imm_int
 from repro.core.install import install_function, spill_offset
 from repro.core.operands import FuncRef, PReg, Spill
 from repro.errors import CodegenError
+from repro.verify import ircheck
 from repro.runtime.costmodel import Phase
 from repro.target.isa import (
     ALLOCATABLE_FREGS,
@@ -78,10 +79,12 @@ class VcodeBackend:
 
     kind = "vcode"
 
-    def __init__(self, machine, cost, allow_spills: bool = True):
+    def __init__(self, machine, cost, allow_spills: bool = True,
+                 verify: str = "off"):
         self.machine = machine
         self.cost = cost
         self.allow_spills = allow_spills
+        self.verify = verify
         self.body: list[Instruction] = []
         self.labels: list[Label] = []
         self.epilogue_label = Label("epilogue")
@@ -141,6 +144,11 @@ class VcodeBackend:
             handle = self.alloc_reg(vspec.cls)
             self._vspec_storage[id(vspec)] = handle
         return handle
+
+    def note_storage(self, handle) -> None:
+        """Mark ``handle`` as backing a C variable.  VCODE works on
+        physical registers, so the verifier hint is a no-op here (the IR
+        verifier's undefined-vreg rule is ICODE-only)."""
 
     def loop_enter(self) -> None:  # usage hints are an ICODE extension
         pass
@@ -382,6 +390,9 @@ class VcodeBackend:
         if self._installed:
             raise CodegenError("backend already installed its function")
         self._installed = True
+        if self.verify == "paranoid":
+            ircheck.run_body(self.body, self.labels, self.epilogue_label,
+                             "vcode-emit")
         return install_function(
             self.machine,
             self.cost,
@@ -395,4 +406,5 @@ class VcodeBackend:
             name,
             do_link,
             recorder=self.recorder,
+            verify=self.verify,
         )

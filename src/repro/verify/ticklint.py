@@ -1,0 +1,334 @@
+"""Layer 1 — tick-expression lint.
+
+A forward dataflow pass over the typed CAST (after :mod:`repro.frontend.sema`)
+that tracks the binding state of every local ``cspec``/``vspec`` variable —
+*declared* → *bound* (by ``param()``/``local()``/a tick assignment) → *used*
+(captured into a tick or handed to ``compile``) — and reports, at static
+compile time, the dynamic-code mistakes that would otherwise surface as
+specification-time ``RuntimeTccError`` traps:
+
+``vspec-use-before-bind`` / ``cspec-use-before-specify``
+    a spec variable is captured into a tick (or compiled) on a path where no
+    ``param()``/``local()``/assignment can have bound it.
+``param-index-rebound``
+    the same constant ``param(type, i)`` index is bound twice while building
+    one dynamic function (the set resets at ``compile`` and at control-flow
+    joins; run-time index expressions are never flagged).
+``cspec-composition-cycle``
+    a cspec is (transitively) composed into itself while still unbound, e.g.
+    ``c = `(c + 1);`` — the closing assignment is reported, not each hop.
+``dollar-side-effect``
+    a ``$``-expression contains an assignment or ``++``/``--`` — ``$`` operands
+    are re-evaluated at emission time, so side effects run an unpredictable
+    number of times (tcc §3 restricts ``$`` to run-time constants).
+``freevar-escape``
+    a tick that captures the *address* of a local/parameter escapes the
+    enclosing activation (returned, or stored to a global spec variable)
+    without being compiled first.
+
+The analysis is deliberately lenient — "maybe bound" states join by union, so
+anything bound on *some* path is never reported — pinning the false-positive
+rate at zero on valid programs (the property suite asserts this).
+"""
+
+from __future__ import annotations
+
+from repro import verify
+from repro.frontend import cast
+from repro.runtime.closures import CaptureKind
+
+_SPEC_KINDS = (CaptureKind.CSPEC, CaptureKind.VSPEC)
+_MUTATING_UNARY = frozenset({"++", "--", "post++", "post--"})
+_EMPTY = frozenset()
+
+
+class _State:
+    """Per-program-point lint state: which tracked decls are maybe-bound,
+    which unbound decls taint each bound one (for cycle detection), and the
+    constant param indices bound so far in the current straight-line run."""
+
+    __slots__ = ("bound", "taint", "param_indices")
+
+    def __init__(self):
+        self.bound = set()          # id(decl) maybe bound on some path
+        self.taint = {}             # id(decl) -> frozenset of unbound id(decl)
+        self.param_indices = {}     # const index -> ParamForm already seen
+
+    def copy(self) -> "_State":
+        new = _State()
+        new.bound = set(self.bound)
+        new.taint = dict(self.taint)
+        new.param_indices = dict(self.param_indices)
+        return new
+
+    def join(self, other: "_State") -> "_State":
+        new = _State()
+        new.bound = self.bound | other.bound
+        for key in set(self.taint) | set(other.taint):
+            new.taint[key] = (self.taint.get(key, _EMPTY)
+                              | other.taint.get(key, _EMPTY))
+        # Distinct paths build distinct dynamic functions; a duplicate index
+        # across a join is not a rebinding, so the run resets here.
+        return new
+
+
+def _unwrap(expr):
+    while isinstance(expr, cast.Cast):
+        expr = expr.expr
+    return expr
+
+
+class _FunctionLinter:
+    def __init__(self, fn: cast.FuncDef, diagnostics: list, seen: set):
+        self.fn = fn
+        self.diagnostics = diagnostics
+        self.seen = seen  # (rule, id(node)) dedupe across loop re-scans
+
+    # -- helpers -------------------------------------------------------------
+
+    def _tracked(self, decl) -> bool:
+        return (isinstance(decl, cast.VarDecl)
+                and not decl.is_global
+                and decl.ty is not None
+                and (decl.ty.is_cspec() or decl.ty.is_vspec()))
+
+    def _is_local(self, decl) -> bool:
+        if isinstance(decl, cast.ParamDecl):
+            return True
+        return isinstance(decl, cast.VarDecl) and not decl.is_global
+
+    def _report(self, rule: str, message: str, node, report: bool) -> None:
+        if not report:
+            return
+        key = (rule, id(node))
+        if key in self.seen:
+            return
+        self.seen.add(key)
+        self.diagnostics.append(verify.Diagnostic(
+            "ticklint", rule, message,
+            where=self.fn.name, loc=getattr(node, "loc", None)))
+
+    # -- statements ----------------------------------------------------------
+
+    def scan(self) -> None:
+        self._scan_stmt(self.fn.body, _State(), True)
+
+    def _scan_stmt(self, stmt, state: _State, report: bool) -> _State:
+        if stmt is None:
+            return state
+        if isinstance(stmt, cast.Block):
+            for sub in stmt.stmts:
+                state = self._scan_stmt(sub, state, report)
+            return state
+        if isinstance(stmt, cast.ExprStmt):
+            self._scan_expr(stmt.expr, state, report)
+            return state
+        if isinstance(stmt, cast.DeclStmt):
+            for decl in stmt.decls:
+                if decl.init is not None:
+                    target = decl if self._tracked(decl) else None
+                    self._scan_expr(decl.init, state, report,
+                                    assign_target=target)
+                    if target is not None:
+                        self._bind(decl, decl.init, state)
+            return state
+        if isinstance(stmt, cast.If):
+            self._scan_expr(stmt.cond, state, report)
+            then_out = self._scan_stmt(stmt.then, state.copy(), report)
+            other_out = self._scan_stmt(stmt.other, state.copy(), report)
+            return then_out.join(other_out)
+        if isinstance(stmt, (cast.While, cast.DoWhile, cast.For)):
+            return self._scan_loop(stmt, state, report)
+        if isinstance(stmt, cast.Switch):
+            self._scan_expr(stmt.expr, state, report)
+            out = state.copy()
+            for _label, body in stmt.cases:
+                arm = state.copy()
+                for sub in body:
+                    arm = self._scan_stmt(sub, arm, report)
+                out = out.join(arm)
+            return out
+        if isinstance(stmt, cast.Return):
+            if stmt.value is not None:
+                self._scan_expr(stmt.value, state, report)
+                self._check_escape(stmt.value, "returned", report)
+            return state
+        # Break / Continue / Empty: treated linearly (lenient).
+        return state
+
+    def _scan_loop(self, stmt, state: _State, report: bool) -> _State:
+        """Two-pass loop scan: a silent pass discovers back-edge bindings, the
+        reporting pass runs from the merged entry state so a use whose binding
+        arrives via the back edge is never flagged."""
+
+        def one_pass(entry: _State, rep: bool) -> _State:
+            inner = entry.copy()
+            if isinstance(stmt, cast.While):
+                self._scan_expr(stmt.cond, inner, rep)
+                inner = self._scan_stmt(stmt.body, inner, rep)
+            elif isinstance(stmt, cast.DoWhile):
+                inner = self._scan_stmt(stmt.body, inner, rep)
+                self._scan_expr(stmt.cond, inner, rep)
+            else:  # For
+                if stmt.init is not None:
+                    self._scan_expr(stmt.init, inner, rep)
+                if stmt.cond is not None:
+                    self._scan_expr(stmt.cond, inner, rep)
+                inner = self._scan_stmt(stmt.body, inner, rep)
+                if stmt.update is not None:
+                    self._scan_expr(stmt.update, inner, rep)
+            return inner
+
+        merged = state.join(one_pass(state, False))
+        body_out = one_pass(merged, report)
+        if isinstance(stmt, cast.DoWhile):
+            return body_out
+        return state.join(body_out)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _scan_expr(self, expr, state: _State, report: bool,
+                   assign_target=None) -> None:
+        if expr is None or not isinstance(expr, cast.Node):
+            return
+        if isinstance(expr, cast.Tick):
+            self._scan_tick(expr, state, report, assign_target)
+            return
+        if isinstance(expr, cast.Assign):
+            target = expr.target
+            bind = (expr.op == ""
+                    and isinstance(target, cast.Ident)
+                    and self._tracked(target.decl))
+            self._scan_expr(expr.value, state, report,
+                            assign_target=target.decl if bind else None)
+            if bind:
+                self._bind(target.decl, expr.value, state)
+            else:
+                self._scan_expr(target, state, report)
+            if (expr.op == "" and isinstance(target, cast.Ident)
+                    and isinstance(target.decl, cast.VarDecl)
+                    and target.decl.is_global):
+                self._check_escape(expr.value,
+                                   f"stored to global {target.name!r}", report)
+            return
+        if isinstance(expr, cast.CompileForm):
+            core = _unwrap(expr.cspec)
+            if (isinstance(core, cast.Ident) and self._tracked(core.decl)
+                    and id(core.decl) not in state.bound):
+                self._report(
+                    "cspec-use-before-specify",
+                    f"cspec {core.name!r} compiled before it is specified",
+                    core, report)
+            self._scan_expr(expr.cspec, state, report)
+            # compile() closes out the dynamic function under construction:
+            # the next param() run starts fresh.
+            state.param_indices = {}
+            return
+        if isinstance(expr, cast.ParamForm):
+            self._scan_expr(expr.index, state, report)
+            idx = _unwrap(expr.index)
+            if isinstance(idx, cast.IntLit):
+                prev = state.param_indices.get(idx.value)
+                if prev is not None and prev is not expr:
+                    self._report(
+                        "param-index-rebound",
+                        f"param index {idx.value} bound twice while building "
+                        f"one dynamic function",
+                        expr, report)
+                state.param_indices[idx.value] = expr
+            return
+        # Generic descend in evaluation order.
+        for child in cast.iter_child_nodes(expr):
+            self._scan_expr(child, state, report)
+
+    def _scan_tick(self, tick: cast.Tick, state: _State, report: bool,
+                   assign_target) -> None:
+        """A tick evaluates here at specification time: its spec captures read
+        the *current* values of the captured variables, and its ``$``
+        expressions are linted for side effects.  The body itself does not
+        execute now, so it contributes no bind/use events."""
+        tick_taint = set()
+        for capture in tick.captures.values():
+            if capture.kind not in _SPEC_KINDS:
+                continue
+            decl = capture.decl
+            if not self._tracked(decl):
+                continue
+            unbound = id(decl) not in state.bound
+            closure = state.taint.get(id(decl), _EMPTY)
+            if unbound:
+                closure = closure | {id(decl)}
+            tick_taint |= closure
+            if assign_target is not None and id(assign_target) in closure:
+                via = ("" if decl is assign_target
+                       else f" (via {capture.name!r})")
+                self._report(
+                    "cspec-composition-cycle",
+                    f"cspec {assign_target.name!r} is composed into its own "
+                    f"specification while unbound{via}",
+                    tick, report)
+                if decl is assign_target:
+                    continue
+            if unbound:
+                if decl.ty.is_vspec():
+                    self._report(
+                        "vspec-use-before-bind",
+                        f"vspec {capture.name!r} captured before being bound "
+                        f"by param() or local()",
+                        tick, report)
+                else:
+                    self._report(
+                        "cspec-use-before-specify",
+                        f"cspec {capture.name!r} composed before it is "
+                        f"specified",
+                        tick, report)
+        if assign_target is not None:
+            state.taint[id(assign_target)] = frozenset(tick_taint)
+        for dollar in tick.dollars:
+            for node in cast.walk(dollar.expr):
+                if isinstance(node, cast.Assign) or (
+                        isinstance(node, cast.Unary)
+                        and node.op in _MUTATING_UNARY):
+                    self._report(
+                        "dollar-side-effect",
+                        "$-expression has a side effect; $ operands are "
+                        "re-evaluated at emission time",
+                        dollar, report)
+                    break
+
+    def _bind(self, decl, rhs, state: _State) -> None:
+        state.bound.add(id(decl))
+        core = _unwrap(rhs)
+        if not isinstance(core, cast.Tick):
+            # param()/local()/plain value: clean binding, clears any taint.
+            state.taint.pop(id(decl), None)
+
+    def _check_escape(self, value, how: str, report: bool) -> None:
+        core = _unwrap(value)
+        if not isinstance(core, cast.Tick):
+            return
+        for capture in core.captures.values():
+            if capture.kind is not CaptureKind.FREEVAR:
+                continue
+            if self._is_local(capture.decl):
+                self._report(
+                    "freevar-escape",
+                    "tick capturing the address of local "
+                    f"{capture.name!r} is {how}, outliving the variable's "
+                    f"extent",
+                    core, report)
+
+
+def check_translation_unit(tu: cast.TranslationUnit) -> list:
+    """Lint every defined function; returns a list of Diagnostics."""
+    diagnostics: list = []
+    seen: set = set()
+    for decl in tu.decls:
+        if isinstance(decl, cast.FuncDef) and decl.body is not None:
+            _FunctionLinter(decl, diagnostics, seen).scan()
+    return diagnostics
+
+
+def run(tu: cast.TranslationUnit) -> None:
+    """Raise :class:`~repro.errors.VerifyError` on any lint finding."""
+    verify.run_checker("ticklint", check_translation_unit, tu)

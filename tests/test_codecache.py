@@ -11,7 +11,6 @@ from repro.core.codecache import (
     PatchImm,
     _guards_hold,
 )
-from repro.runtime.closures import signature_of
 from repro.runtime.costmodel import Phase
 from repro.target.memory import Memory
 from tests.conftest import BACKENDS, compile_c

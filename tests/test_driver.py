@@ -3,7 +3,6 @@
 import pytest
 
 from repro import BackendKind, CodegenError, TccCompiler, TccError
-from repro.core.driver import PRELUDE_SOURCE
 from repro.icode.backend import IcodeBackend
 from repro.vcode.machine import VcodeBackend
 from tests.conftest import compile_c

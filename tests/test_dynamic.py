@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.errors import RuntimeTccError
+from repro import TccCompiler
+from repro.errors import RuntimeTccError, VerifyError
 from tests.conftest import BACKENDS, compile_c
 
 
@@ -170,7 +171,8 @@ class TestComposition:
         """
         assert build_and_call(src, backend=backend) == 42
 
-    def test_unspecified_cspec_fails_cleanly(self, backend):
+    def test_unspecified_cspec_rejected_at_compile_time(self, backend):
+        # The tick lint (repro.verify.ticklint) reports this statically.
         src = """
         int build(void) {
             int cspec c;
@@ -178,7 +180,20 @@ class TestComposition:
             return (int)compile(d, int);
         }
         """
-        proc = compile_c(src, backend=backend)
+        with pytest.raises(VerifyError, match="cspec-use-before-specify"):
+            compile_c(src, backend=backend)
+
+    def test_unspecified_cspec_fails_cleanly(self, backend):
+        # With verification off, the bug still fails cleanly at run time.
+        src = """
+        int build(void) {
+            int cspec c;
+            int cspec d = `(c + 1);
+            return (int)compile(d, int);
+        }
+        """
+        proc = TccCompiler(verify="off").compile(src).start(
+            backend=backend, verify="off")
         with pytest.raises(RuntimeTccError, match="composed before"):
             proc.run("build")
 

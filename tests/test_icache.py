@@ -3,7 +3,7 @@
 import pytest
 
 from repro.target.cpu import ICache, Machine
-from repro.target.isa import CYCLE_COST, Instruction, Op, Reg
+from repro.target.isa import Instruction, Op, Reg
 from repro.target.program import Label
 
 

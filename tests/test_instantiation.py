@@ -94,7 +94,7 @@ class TestRepeatedInstantiation:
         f1 = proc.function(proc.run("build", 1), "i", "i")
         expected1 = sum(2 * i + 1 for i in range(20))
         assert f1(2) == expected1
-        f2 = proc.function(proc.run("build", 100), "i", "i")
+        proc.function(proc.run("build", 100), "i", "i")
         assert f1(2) == expected1  # still intact
 
 

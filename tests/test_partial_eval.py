@@ -1,7 +1,5 @@
 """Unit tests for run-time constant strength reduction (tcc 4.4)."""
 
-import pytest
-
 from repro.core.partial_eval import (
     _is_power_of_two,
     _shift_add_plan,

@@ -6,6 +6,7 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
+from repro import TccCompiler, report
 from tests.conftest import compile_c
 
 # A tiny structured program generator: a sequence of statements over three
@@ -115,3 +116,46 @@ def test_unrolled_loop_agrees_with_dynamic_loop(body, n, a):
     unrolled = proc.function(proc.run("build_unrolled", n), "i", "i")
     looped = proc.function(proc.run("build_looped"), "ii", "i")
     assert unrolled(a) == looped(a, n), (body, n, a)
+
+
+@settings(max_examples=15, deadline=None)
+@given(body=programs(), a=st.integers(-50, 50), b=st.integers(-50, 50),
+       c=st.integers(-50, 50))
+def test_paranoid_verification_is_silent(body, a, b, c):
+    """Every layer of the verifier suite, over randomly generated programs
+    on every back-end configuration, reports nothing: the checkers never
+    cry wolf on correct code (a diagnostic raises VerifyError here)."""
+    src = f"""
+    int f(int a, int b, int c) {{
+        int i, j;
+        {body}
+        return a * 3 + b * 5 + c * 7;
+    }}
+    int build(void) {{
+        int vspec a = param(int, 0);
+        int vspec b = param(int, 1);
+        int vspec c = param(int, 2);
+        void cspec code = `{{
+            int i, j;
+            {body}
+            return a * 3 + b * 5 + c * 7;
+        }};
+        return (int)compile(code, int);
+    }}
+    """
+    report.reset()
+    results = {}
+    prog = TccCompiler(verify="paranoid").compile(src)
+    for backend, regalloc in (("vcode", "linear"), ("icode", "linear"),
+                              ("icode", "color")):
+        proc = prog.start(backend=backend, regalloc=regalloc,
+                          static_opt="gcc", verify="paranoid")
+        entry = proc.run("build")
+        results[(backend, regalloc)] = proc.function(entry, "iii", "i")(
+            a, b, c)
+        results[("static", backend, regalloc)] = proc.static_function("f")(
+            a, b, c)
+    stats = report.verify_stats()
+    assert stats["checks_run"] > 0
+    assert all(n == 0 for n in stats["diagnostics"].values()), stats
+    assert len(set(results.values())) == 1, (results, body)

@@ -19,7 +19,7 @@ from repro.icode.flowgraph import build_flowgraph
 from repro.icode.graphcolor import build_interference, graph_color
 from repro.icode.intervals import Interval, build_intervals
 from repro.icode.ir import IRFunction, IRInstr
-from repro.icode.linearscan import check_allocation, linear_scan
+from repro.icode.linearscan import linear_scan
 from repro.icode.liveness import compute_liveness
 from repro.core.operands import VReg
 from repro.runtime.costmodel import CostModel
@@ -162,7 +162,13 @@ def test_linear_scan_never_overlaps(spans, nregs):
         return counter[0] - 1
 
     linear_scan(ivs, list(range(nregs)), alloc)
-    check_allocation(ivs)
+    by_reg: dict = {}
+    for iv in ivs:
+        if iv.reg is None:
+            continue
+        for other in by_reg.get(iv.reg, ()):
+            assert not iv.overlaps(other), f"{iv} and {other} share a register"
+        by_reg.setdefault(iv.reg, []).append(iv)
     # every interval has a home: register or spill slot
     assert all(iv.reg is not None or iv.location is not None for iv in ivs)
 

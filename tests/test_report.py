@@ -53,3 +53,23 @@ def test_reset_clears_dispatch_counters():
     stats = report.dispatch_stats()
     assert all(v == 0 for k, v in stats.items() if k != "fused_by_kind")
     assert stats["fused_by_kind"] == {}
+
+
+def test_reset_clears_verify_counters():
+    """report.reset() must zero the VERIFY_STATS counters too, or one
+    benchmark's diagnostic/timing numbers bleed into the next."""
+    report.reset()
+    report.record_verify("ticklint", 0, 0.25)
+    report.record_verify("regcheck", 3, 0.5)
+
+    stats = report.verify_stats()
+    assert stats["checks_run"] == 2
+    assert stats["diagnostics"]["regcheck"] == 3
+    assert stats["diagnostics"]["ticklint"] == 0
+    assert stats["time_seconds"] == pytest.approx(0.75)
+
+    report.reset()
+    stats = report.verify_stats()
+    assert stats["checks_run"] == 0
+    assert all(n == 0 for n in stats["diagnostics"].values())
+    assert stats["time_seconds"] == 0.0

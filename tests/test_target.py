@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import LinkError, MachineError
-from repro.target.cpu import CPU, Function, Machine
+from repro.target.cpu import Function, Machine
 from repro.target.isa import (
     CYCLE_COST,
     Instruction,
