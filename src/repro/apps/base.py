@@ -76,6 +76,7 @@ class MeasureResult:
         self.static_result = None
         self.expected = None
         self.correct = False
+        self.tracer = None             # set when measured with telemetry on
 
     @property
     def speedup(self) -> float:

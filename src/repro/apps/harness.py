@@ -34,13 +34,18 @@ def clear_cache() -> None:
 
 def measure(app: App, backend: str = "icode", regalloc: str = "linear",
             static_opt: str = "lcc", engine: str = "block",
-            **extra_options) -> MeasureResult:
+            telemetry: str = "off", **extra_options) -> MeasureResult:
     """Measure one app under one configuration; see module docstring.
 
     ``engine`` selects the target-machine execution engine ("block" or
     "reference") for both the dynamic and the static machine.  Modeled
     cycles are engine-independent; the knob only changes host wall time
     (benchmarks/test_dispatch.py measures that difference).
+
+    ``telemetry`` ("off"/"on"/"sample:N", default off) attaches a span
+    tracer to the *dynamic* side only; the resulting
+    ``MeasureResult.tracer`` can be handed to :mod:`repro.telemetry.export`.
+    Modeled-cycle results are telemetry-independent.
     """
     result = MeasureResult(app.name, backend, regalloc, static_opt)
     prog = _program(app)
@@ -51,7 +56,7 @@ def measure(app: App, backend: str = "icode", regalloc: str = "linear",
     # warm/patched paths).
     extra_options.setdefault("codecache", False)
     proc = prog.start(backend=backend, regalloc=regalloc, engine=engine,
-                      **extra_options)
+                      telemetry=telemetry, **extra_options)
     ctx = app.setup(proc)
     entry = proc.run(app.builder, *app.builder_args(ctx))
     fn = proc.function(entry, app.dyn_signature, app.dyn_returns,
@@ -65,6 +70,7 @@ def measure(app: App, backend: str = "icode", regalloc: str = "linear",
     before = proc.machine.cpu.cycles
     result.dynamic_result = app.dyn_call(fn, ctx)
     result.dynamic_cycles = proc.machine.cpu.cycles - before
+    result.tracer = proc.tracer
 
     # Static side: a separate machine so measurements are isolated.
     proc_s = prog.start(static_opt=static_opt, engine=engine)

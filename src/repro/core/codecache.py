@@ -52,6 +52,10 @@ from repro.runtime.closures import ClosureSignature, signature_of
 from repro.runtime.costmodel import Phase
 from repro.target.isa import Instruction, wrap32
 from repro.target.program import Label
+from repro.telemetry.metrics import REGISTRY
+
+#: Memo entries + templates dropped by segment rollback/fault events.
+_INVALIDATED = REGISTRY.counter("cache.invalidated")
 
 __all__ = [
     "PatchImm",
@@ -473,8 +477,10 @@ class CodeCache:
             stale = [k for k, e in self._memo.items() if e.end > length]
             for k in stale:
                 del self._memo[k]
+            _INVALIDATED.inc(len(stale))
             for shape, bucket in list(self._templates.items()):
                 kept = [t for t in bucket if t.end <= length]
+                _INVALIDATED.inc(len(bucket) - len(kept))
                 if kept:
                     self._templates[shape] = kept
                 else:
@@ -483,6 +489,8 @@ class CodeCache:
             self.clear()
 
     def clear(self) -> None:
+        _INVALIDATED.inc(len(self._memo)
+                         + sum(len(b) for b in self._templates.values()))
         self._memo.clear()
         self._templates.clear()
 

@@ -45,6 +45,8 @@ from repro.runtime.closures import signature_of
 from repro.runtime.costmodel import CostModel, Phase
 from repro.target.cpu import Function, Machine
 from repro.target.isa import wrap32
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
 from repro.vcode.machine import VcodeBackend
 from repro.verify import codeaudit, resolve_mode, ticklint
 
@@ -85,23 +87,54 @@ class TccCompiler:
     Any mode other than ``"off"`` runs the tick-expression lint
     (:mod:`repro.verify.ticklint`) after semantic analysis, so dynamic-code
     bugs like use-before-specialization surface at *static* compile time.
+
+    ``telemetry`` (``"off"``/``"on"``/``"sample:N"``, default off) creates
+    a :class:`~repro.telemetry.trace.Tracer` covering static compilation;
+    the resulting :class:`CompiledProgram` carries it so ``start()``
+    continues the same timeline.  Pass ``tracer`` to share an existing one
+    instead.
     """
 
-    def __init__(self, include_prelude: bool = True, verify: str = None):
+    def __init__(self, include_prelude: bool = True, verify: str = None,
+                 telemetry: str = None, tracer=None):
         self.include_prelude = include_prelude
         self.verify = verify
+        self.tracer = tracer
+        if tracer is None and _trace.resolve_mode(telemetry) != "off":
+            self.tracer = _trace.Tracer(telemetry)
 
     def compile(self, source: str, filename: str = "<source>") -> "CompiledProgram":
         """Parse, type-check, lint, and statically lower ``source``."""
         if self.include_prelude:
             source = self._merge_prelude(source)
-        tu = analyze(parse(source, filename))
-        if resolve_mode(self.verify) != "off":
-            ticklint.run(tu)
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            tu = analyze(parse(source, filename))
+            if resolve_mode(self.verify) != "off":
+                ticklint.run(tu)
+            self._build_cgfs(tu)
+            return CompiledProgram(tu, source, tracer=tracer)
+        # Static compilation has no modeled cost, so its stages appear as
+        # zero-cycle spans carrying host wall time; the lint emits its own
+        # verify:ticklint instant through the ambient tracer.
+        with _trace.activate(tracer):
+            span = tracer.begin(f"static_compile:{filename}", cat="static")
+            with tracer.span("parse", cat="static"):
+                tu = parse(source, filename)
+            with tracer.span("sema", cat="static"):
+                tu = analyze(tu)
+            if resolve_mode(self.verify) != "off":
+                ticklint.run(tu)
+            with tracer.span("cgf", cat="static"):
+                self._build_cgfs(tu)
+            tracer.end(span, functions=len(tu.functions))
+        return CompiledProgram(tu, source, tracer=tracer)
+
+    @staticmethod
+    def _build_cgfs(tu) -> None:
         for fn in tu.functions.values():
             for tick in fn.ticks:
                 tick.cgf = CGF(tick, fn.name)
-        return CompiledProgram(tu, source)
 
     def _merge_prelude(self, source: str) -> str:
         """Prepend prelude functions the source does not define itself."""
@@ -124,9 +157,10 @@ class CompiledProgram:
     """The output of static compilation: an analyzed translation unit with
     code-generating functions attached to every tick expression."""
 
-    def __init__(self, tu: cast.TranslationUnit, source: str):
+    def __init__(self, tu: cast.TranslationUnit, source: str, tracer=None):
         self.tu = tu
         self.source = source
+        self.tracer = tracer
 
     def start(self, machine: Machine | None = None, **options) -> "Process":
         """Instantiate the program on a machine.  Options:
@@ -149,6 +183,12 @@ class CompiledProgram:
                           check + install audit), or "paranoid" (adds the
                           inter-pass IR verifier).  Defaults to
                           ``$REPRO_VERIFY``, else "dev".
+        ``telemetry``     lifecycle tracing: "off" (default), "on", or
+                          "sample:N" (see repro.telemetry).  Metrics are
+                          always recorded; the knob only controls spans.
+        ``tracer``        share an existing Tracer instead (wins over
+                          ``telemetry``; defaults to the one the compiler
+                          used for static compilation, if any).
 
         When no ``machine`` is supplied, these options configure the fresh
         one:
@@ -195,6 +235,20 @@ class Process:
         self.regalloc = options.get("regalloc", "linear")
         self.static_opt = options.get("static_opt", "lcc")
         self.verify = resolve_mode(options.get("verify"))
+        # Tracer resolution: explicit option > the static compiler's >
+        # the machine's > a fresh one when the telemetry knob asks for it.
+        tracer = options.get("tracer")
+        if tracer is None:
+            tracer = program.tracer
+        if tracer is None:
+            tracer = machine.tracer
+        if tracer is None:
+            mode = _trace.resolve_mode(options.get("telemetry"))
+            if mode != "off":
+                tracer = _trace.Tracer(mode)
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
+        if self.tracer is not None:
+            machine.tracer = self.tracer
         self.cost = CostModel()          # dynamic-compilation accounting
         self.static_cost = CostModel()   # static compilation (not reported)
         self.closure_arena = Arena(name="closures")
@@ -203,6 +257,8 @@ class Process:
         self.pending_args: list = []  # push()/apply() construction state
         self.last_codegen_stats = None
         self.compile_count = 0
+        self._compile_path = None        # "hit"/"patched"/"cold"/"fallback"
+        self._compile_signature = None
         self.codecache = CodeCache(
             enabled=options.get("codecache", True),
             templates_enabled=options.get("code_templates", True),
@@ -214,7 +270,11 @@ class Process:
         self._place_globals()
         self.interp = Interp(self)
         if options.get("compile_static", True):
-            self._compile_static_functions()
+            if self.tracer is not None:
+                with _trace.activate(self.tracer):
+                    self._compile_static_functions()
+            else:
+                self._compile_static_functions()
 
     # -- setup -----------------------------------------------------------------
 
@@ -280,14 +340,22 @@ class Process:
         compilable = self.compilable_functions()
         global_env = static_backend.build_global_env(self.global_cells)
         static_start = self.machine.code.here
+        tracer = self.tracer
         for name in compilable:
             fn = self.program.tu.functions[name]
+            before = self.static_cost.current.total_cycles()
             entry = static_backend.compile_static_function(
                 self.machine, self.static_cost, fn, global_env,
                 self.intern_string, opt=self.static_opt, do_link=False,
                 options=self.options, verify=self.verify,
             )
             self._static_entries[name] = entry
+            if tracer is not None:
+                spent = self.static_cost.current.total_cycles() - before
+                tracer.advance(spent)
+                tracer.add_complete(f"static:{name}", cat="static",
+                                    ts=tracer.cursor - spent,
+                                    end=tracer.cursor, entry=entry)
         self.machine.code.link()
         if self.verify != "off":
             # The per-function installs deferred linking, so audit the
@@ -395,7 +463,31 @@ class Process:
         one-pass VCODE back end.  Successful fallbacks are recorded in
         :mod:`repro.report` stats; their output is never cached (the
         signature describes the primary back end's configuration).
+
+        Telemetry: every compile() records its path/cycles/instructions in
+        the metrics registry; when a tracer is attached (and this
+        lifecycle is sampled) the finished instantiation is laid onto the
+        cycle timeline as a ``compile#N`` span whose phase children tile
+        it exactly (see :meth:`_trace_compile`).
         """
+        tracer = self.tracer
+        traced = tracer is not None and tracer.sample("compile")
+        self._compile_path = None
+        self._compile_signature = None
+        if traced:
+            with _trace.activate(tracer):
+                entry = self._compile_closure(closure, ret_type)
+        else:
+            entry = self._compile_closure(closure, ret_type)
+        stats = self.last_codegen_stats
+        path = self._compile_path or "cold"
+        _metrics.record_compile(path, stats.total_cycles(),
+                                stats.generated_instructions)
+        if traced:
+            self._trace_compile(tracer, closure, entry, stats, path)
+        return entry
+
+    def _compile_closure(self, closure, ret_type) -> int:
         try:
             # Bind dynamic parameters created via param().
             params = sorted(self.current_params, key=lambda v: v.index)
@@ -409,6 +501,7 @@ class Process:
             if self.codecache.enabled:
                 signature = signature_of(closure, params,
                                          self._cache_config_key(ret_type))
+                self._compile_signature = signature
                 entry = self._try_cached(signature)
                 if entry is not None:
                     return self._note_compiled(entry, closure)
@@ -431,6 +524,12 @@ class Process:
                 entry = self._instantiate(fallback, closure, ret_type,
                                           params, None)
                 report.record_fallback("icode", "vcode", str(primary))
+                self._compile_path = "fallback"
+                amb = _trace.active()
+                if amb.enabled:
+                    amb.instant("fallback", cat="event", from_backend="icode",
+                                to_backend="vcode",
+                                reason=str(primary)[:120])
             self.last_codegen_stats = self.cost.end_instantiation()
             if signature is not None and recorder is not None:
                 self.codecache.store(
@@ -459,6 +558,40 @@ class Process:
             str(ret_type),
         )
 
+    def _trace_compile(self, tracer, closure, entry, stats, path) -> None:
+        """Lay a finished instantiation onto the cycle timeline.
+
+        Phase charges interleave in real time (a CGF call charges CLOSURE
+        between EMIT charges), so live spans cannot represent them.
+        Instead the cursor advances by the instantiation's total modeled
+        cost, then the ``compile#N`` span and its phase children are
+        synthesized retroactively: the children tile the parent in
+        canonical phase order and sum to the cost model's phase totals by
+        construction.
+        """
+        total = stats.total_cycles()
+        tracer.advance(total)
+        end = tracer.cursor
+        args = {
+            "closure": closure.cgf.label,
+            "backend": self.backend_kind.value,
+            "path": path,
+            "entry": entry,
+            "code_range": [entry, self.machine.code.here],
+            "instructions": stats.generated_instructions,
+        }
+        if self._compile_signature is not None:
+            args["sig"] = format(
+                hash(self._compile_signature.key) & 0xFFFFFFFF, "08x")
+        span = tracer.add_complete(
+            f"compile#{self.compile_count}", cat="compile",
+            ts=end - total, end=end, parent=tracer.current(), **args)
+        at = span.ts
+        for phase, cycles in stats.phase_cycles().items():
+            tracer.add_complete(f"phase:{phase.value}", cat="phase",
+                                ts=at, end=at + cycles, parent=span)
+            at += cycles
+
     def _note_compiled(self, entry, closure) -> int:
         """Shared epilogue of every compile() path (hit, patched, cold)."""
         self.compile_count += 1
@@ -484,6 +617,7 @@ class Process:
             report.record_cache_hit(
                 hit.cold_cycles - self.last_codegen_stats.total_cycles()
             )
+            self._compile_path = "hit"
             return hit.entry
         template = cache.match_template(signature, memory)
         if template is None:
@@ -515,6 +649,7 @@ class Process:
             len(template.holes) * BYTES_PER_HOLE,
             template.cold_cycles - self.last_codegen_stats.total_cycles(),
         )
+        self._compile_path = "patched"
         return entry
 
     def _instantiate(self, backend, closure, ret_type, params,
@@ -568,7 +703,12 @@ class Process:
         if fn is None:
             raise TccError(f"no function named {fn_name!r}")
         self.interp.reset_budget()
-        return self.interp.call_function(fn, list(args))
+        tracer = self.tracer
+        if tracer is None:
+            return self.interp.call_function(fn, list(args))
+        with _trace.activate(tracer):
+            with tracer.span(f"run:{fn_name}", cat="spec"):
+                return self.interp.call_function(fn, list(args))
 
     def function(self, entry: int, signature: str = "",
                  returns: str = "i", name: str = "<dynamic>") -> Function:

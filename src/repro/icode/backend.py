@@ -40,7 +40,14 @@ from repro.target.isa import (
     Reg,
 )
 from repro.target.program import Label
+from repro.telemetry.metrics import REGISTRY
 from repro.verify import ircheck, regcheck
+
+#: Telemetry: installs served by this back end, and the IR volume that
+#: flowed through the pipeline (one inc per install, so the cold path
+#: pays two integer adds).
+_INSTALLS = REGISTRY.counter("backend.icode.installs")
+_IR_INSTRS = REGISTRY.counter("backend.icode.ir_instructions")
 
 _BINOPS = {
     "add": (Op.ADD, Op.ADDI),
@@ -263,6 +270,8 @@ class IcodeBackend:
         if self._installed:
             raise CodegenError("backend already installed its function")
         self._installed = True
+        _INSTALLS.inc()
+        _IR_INSTRS.inc(len(self.ir.instrs))
         cost = self.cost
         paranoid = self.verify == "paranoid"
         storage = frozenset(self.storage_vregs)

@@ -9,14 +9,26 @@ Usage::
     python -m repro.report fig7       # Figure 7: ICODE breakdown, LS vs GC
     python -m repro.report blur       # section 6.2 xv Blur case study
     python -m repro.report usedops    # section 5.2 pruned-emitter sizes
+    python -m repro.report telemetry  # traced blur compile+run summary
     python -m repro.report all
 
 Numbers are deterministic (simulated machine + modeled codegen cycles).
+
+Statistics plumbing: every counter this module historically kept in
+module-level dicts (fallbacks, specialization cache, block dispatch,
+verifier suite) now lives in the unified metrics registry
+(:data:`repro.telemetry.metrics.REGISTRY`).  The ``record_*`` helpers,
+the ``*_stats()`` accessors, ``reset()``, and the ``FALLBACK_STATS``/
+``CACHE_STATS``/``DISPATCH_STATS``/``VERIFY_STATS`` names keep their
+signatures and read-side semantics as thin views over the registry.
 """
 
 from __future__ import annotations
 
 import sys
+from collections.abc import Mapping
+
+from repro.telemetry import metrics as _metrics
 
 # The heavyweight repro.apps/analysis imports live inside the report
 # functions: the driver imports this module at module level (for the
@@ -29,154 +41,204 @@ SERIES = [
     ("vcode", "gcc"),
 ]
 
+_REGISTRY = _metrics.REGISTRY
+
+
+class _StatsView(Mapping):
+    """A read-only dict-shaped live view over registry metrics.
+
+    Keeps the historical module-level names (``report.CACHE_STATS`` and
+    friends) working for read access while the registry is the single
+    source of truth.
+    """
+
+    def __init__(self, getters: dict):
+        self._getters = getters
+
+    def __getitem__(self, key):
+        return self._getters[key]()
+
+    def __iter__(self):
+        return iter(self._getters)
+
+    def __len__(self):
+        return len(self._getters)
+
+    def __repr__(self):
+        return repr({key: get() for key, get in self._getters.items()})
+
+
+# -- backend fallbacks --------------------------------------------------------
+
+_FALLBACK_COUNT = _REGISTRY.counter("fallback.count")
+#: Recent fallback events are retained up to a fixed cap (the count above
+#: stays exact); unbounded growth in long-running processes was a bug.
+_FALLBACK_EVENTS = _REGISTRY.events(
+    "fallback.events", capacity=_metrics.DEFAULT_EVENT_CAPACITY)
+
 #: Graceful-degradation counters, fed by
 #: :meth:`repro.core.driver.Process.compile_closure` whenever a failed
 #: ICODE instantiation is successfully retried on VCODE.  ``events`` holds
-#: ``(from_backend, to_backend, reason)`` tuples in occurrence order.
-FALLBACK_STATS = {"count": 0, "events": []}
+#: the most recent ``(from_backend, to_backend, reason)`` tuples in
+#: occurrence order (bounded; ``count`` is always exact).
+FALLBACK_STATS = _StatsView({
+    "count": lambda: _FALLBACK_COUNT.value,
+    "events": lambda: list(_FALLBACK_EVENTS),
+})
+
+
+def record_fallback(from_backend: str, to_backend: str, reason: str) -> None:
+    """Record one successful backend fallback."""
+    _FALLBACK_COUNT.inc()
+    _FALLBACK_EVENTS.append((from_backend, to_backend, reason))
+
+
+def fallback_count() -> int:
+    return _FALLBACK_COUNT.value
+
+
+def reset_fallbacks() -> None:
+    _FALLBACK_COUNT.reset()
+    _FALLBACK_EVENTS.reset()
+
+
+# -- specialization cache -----------------------------------------------------
+
+_CACHE_KEYS = ("hits", "misses", "patched", "patched_bytes", "cycles_saved")
+_CACHE = {key: _REGISTRY.counter(f"cache.{key}") for key in _CACHE_KEYS}
 
 #: Specialization-cache counters, fed by
 #: :meth:`repro.core.driver.Process.compile_closure`:
 #: Tier-1 memo hits, Tier-2 template patches, and cold misses, plus the
 #: modeled bytes patched and codegen cycles the cache avoided.
-CACHE_STATS = {
-    "hits": 0,
-    "misses": 0,
-    "patched": 0,
-    "patched_bytes": 0,
-    "cycles_saved": 0,
-}
+CACHE_STATS = _StatsView({
+    key: (lambda c=_CACHE[key]: c.value) for key in _CACHE_KEYS
+})
 
 
 def record_cache_hit(cycles_saved: int = 0) -> None:
     """Record one Tier-1 memo hit."""
-    CACHE_STATS["hits"] += 1
-    CACHE_STATS["cycles_saved"] += max(int(cycles_saved), 0)
+    _CACHE["hits"].inc()
+    _CACHE["cycles_saved"].inc(max(int(cycles_saved), 0))
 
 
 def record_cache_patch(patched_bytes: int, cycles_saved: int = 0) -> None:
     """Record one Tier-2 template instantiation."""
-    CACHE_STATS["patched"] += 1
-    CACHE_STATS["patched_bytes"] += int(patched_bytes)
-    CACHE_STATS["cycles_saved"] += max(int(cycles_saved), 0)
+    _CACHE["patched"].inc()
+    _CACHE["patched_bytes"].inc(int(patched_bytes))
+    _CACHE["cycles_saved"].inc(max(int(cycles_saved), 0))
 
 
 def record_cache_miss() -> None:
     """Record one cold compile (cache enabled but no reuse possible)."""
-    CACHE_STATS["misses"] += 1
+    _CACHE["misses"].inc()
 
 
 def cache_stats() -> dict:
-    return dict(CACHE_STATS)
+    return {key: _CACHE[key].value for key in _CACHE_KEYS}
 
 
 def reset_cache_stats() -> None:
-    for key in CACHE_STATS:
-        CACHE_STATS[key] = 0
+    for counter in _CACHE.values():
+        counter.reset()
 
+
+# -- block-dispatch engine ----------------------------------------------------
+
+_DISPATCH_KEYS = ("blocks_compiled", "instructions_predecoded",
+                  "fused_pairs", "block_dispatches", "block_cache_hits",
+                  "blocks_invalidated")
+_DISPATCH = {key: _REGISTRY.counter(f"dispatch.{key}")
+             for key in _DISPATCH_KEYS}
+_FUSED_BY_KIND = _REGISTRY.labeled("dispatch.fused_by_kind")
 
 #: Block-dispatch engine counters, fed by
 #: :class:`repro.target.dispatch.BlockEngine`: superblocks compiled,
 #: instructions predecoded into them, superinstruction pairs fused (by
 #: kind), block-granular dispatches, block-cache hits, and blocks
 #: evicted by code-segment invalidation events.
-DISPATCH_STATS = {
-    "blocks_compiled": 0,
-    "instructions_predecoded": 0,
-    "fused_pairs": 0,
-    "fused_by_kind": {},
-    "block_dispatches": 0,
-    "block_cache_hits": 0,
-    "blocks_invalidated": 0,
-}
+DISPATCH_STATS = _StatsView({
+    **{key: (lambda c=_DISPATCH[key]: c.value) for key in _DISPATCH_KEYS},
+    "fused_by_kind": _FUSED_BY_KIND.snapshot,
+})
 
 
 def record_block_compiled(n_instructions: int, fused: dict) -> None:
     """Record one superblock compilation."""
-    DISPATCH_STATS["blocks_compiled"] += 1
-    DISPATCH_STATS["instructions_predecoded"] += int(n_instructions)
-    by_kind = DISPATCH_STATS["fused_by_kind"]
+    _DISPATCH["blocks_compiled"].inc()
+    _DISPATCH["instructions_predecoded"].inc(int(n_instructions))
     for kind, count in fused.items():
-        DISPATCH_STATS["fused_pairs"] += count
-        by_kind[kind] = by_kind.get(kind, 0) + count
+        _DISPATCH["fused_pairs"].inc(count)
+        _FUSED_BY_KIND.inc(kind, count)
 
 
 def record_dispatch(dispatches: int, cache_hits: int) -> None:
     """Record one engine run's dispatch-loop totals."""
-    DISPATCH_STATS["block_dispatches"] += int(dispatches)
-    DISPATCH_STATS["block_cache_hits"] += int(cache_hits)
+    _DISPATCH["block_dispatches"].inc(int(dispatches))
+    _DISPATCH["block_cache_hits"].inc(int(cache_hits))
 
 
 def record_block_invalidation(dropped: int) -> None:
     """Record blocks evicted by a segment rollback/fault event."""
-    DISPATCH_STATS["blocks_invalidated"] += int(dropped)
+    _DISPATCH["blocks_invalidated"].inc(int(dropped))
 
 
 def dispatch_stats() -> dict:
-    out = dict(DISPATCH_STATS)
-    out["fused_by_kind"] = dict(DISPATCH_STATS["fused_by_kind"])
+    out = {key: _DISPATCH[key].value for key in _DISPATCH_KEYS}
+    out["fused_by_kind"] = _FUSED_BY_KIND.snapshot()
     return out
 
 
 def reset_dispatch_stats() -> None:
-    for key in DISPATCH_STATS:
-        DISPATCH_STATS[key] = {} if key == "fused_by_kind" else 0
+    for counter in _DISPATCH.values():
+        counter.reset()
+    _FUSED_BY_KIND.reset()
 
+
+# -- verifier suite -----------------------------------------------------------
+
+_VERIFY_LAYERS = ("ticklint", "ircheck", "regcheck", "codeaudit")
+_VERIFY_CHECKS = _REGISTRY.counter("verify.checks_run")
+_VERIFY_DIAGNOSTICS = _REGISTRY.labeled("verify.diagnostics",
+                                        preset=_VERIFY_LAYERS)
+_VERIFY_SECONDS = _REGISTRY.counter("verify.time_seconds")
 
 #: Verifier-suite counters, fed by :mod:`repro.verify`: total checks run,
 #: diagnostics raised per layer, and wall time spent inside the verifiers.
-VERIFY_STATS = {
-    "checks_run": 0,
-    "diagnostics": {"ticklint": 0, "ircheck": 0, "regcheck": 0,
-                    "codeaudit": 0},
-    "time_seconds": 0.0,
-}
+VERIFY_STATS = _StatsView({
+    "checks_run": lambda: _VERIFY_CHECKS.value,
+    "diagnostics": _VERIFY_DIAGNOSTICS.snapshot,
+    "time_seconds": lambda: float(_VERIFY_SECONDS.value),
+})
 
 
 def record_verify(layer: str, n_diagnostics: int, seconds: float) -> None:
     """Record one verifier check (one layer invocation)."""
-    VERIFY_STATS["checks_run"] += 1
-    by_layer = VERIFY_STATS["diagnostics"]
-    by_layer[layer] = by_layer.get(layer, 0) + int(n_diagnostics)
-    VERIFY_STATS["time_seconds"] += float(seconds)
+    _VERIFY_CHECKS.inc()
+    _VERIFY_DIAGNOSTICS.inc(layer, int(n_diagnostics))
+    _VERIFY_SECONDS.inc(float(seconds))
 
 
 def verify_stats() -> dict:
-    out = dict(VERIFY_STATS)
-    out["diagnostics"] = dict(VERIFY_STATS["diagnostics"])
-    return out
+    return {
+        "checks_run": _VERIFY_CHECKS.value,
+        "diagnostics": _VERIFY_DIAGNOSTICS.snapshot(),
+        "time_seconds": float(_VERIFY_SECONDS.value),
+    }
 
 
 def reset_verify_stats() -> None:
-    VERIFY_STATS["checks_run"] = 0
-    VERIFY_STATS["diagnostics"] = {"ticklint": 0, "ircheck": 0,
-                                   "regcheck": 0, "codeaudit": 0}
-    VERIFY_STATS["time_seconds"] = 0.0
+    _VERIFY_CHECKS.reset()
+    _VERIFY_DIAGNOSTICS.reset()
+    _VERIFY_SECONDS.reset()
 
 
 def reset() -> None:
-    """Reset every cross-process counter this module accumulates
-    (backend fallbacks, specialization-cache statistics, block-dispatch
-    engine statistics, and verifier statistics)."""
-    reset_fallbacks()
-    reset_cache_stats()
-    reset_dispatch_stats()
-    reset_verify_stats()
-
-
-def record_fallback(from_backend: str, to_backend: str, reason: str) -> None:
-    """Record one successful backend fallback."""
-    FALLBACK_STATS["count"] += 1
-    FALLBACK_STATS["events"].append((from_backend, to_backend, reason))
-
-
-def fallback_count() -> int:
-    return FALLBACK_STATS["count"]
-
-
-def reset_fallbacks() -> None:
-    FALLBACK_STATS["count"] = 0
-    FALLBACK_STATS["events"] = []
+    """Reset every cross-process counter the registry accumulates —
+    backend fallbacks, specialization-cache statistics, block-dispatch
+    engine statistics, verifier statistics, and the newer telemetry
+    metrics (compile histograms, segment events, backend counters)."""
+    _REGISTRY.reset()
 
 
 def _series_results(app_names):
@@ -250,7 +312,7 @@ def report_fig5(results=None) -> str:
         for b, s in SERIES:
             x = row[f"{b}-{s}"].crossover
             cells.append(f"{'-' if x is None else x:>10}")
-        lines.append(f"{name:8s} " + " ".join(str(c) for c in cells))
+        lines.append(f"{name:8s} " + " ".join(cells))
     return "\n".join(lines)
 
 
@@ -350,6 +412,21 @@ def report_usedops() -> str:
     return "\n".join(lines)
 
 
+def report_telemetry() -> str:
+    from repro.apps import ALL_APPS
+    from repro.apps.harness import measure
+    from repro.telemetry import export
+
+    result = measure(ALL_APPS["blur"], backend="icode", telemetry="on")
+    lines = [
+        "Telemetry: one traced blur compile+run (export a Perfetto trace",
+        "with `python -m repro.telemetry blur -f chrome -o blur.json`)",
+        "",
+        export.summary(result.tracer),
+    ]
+    return "\n".join(lines)
+
+
 REPORTS = {
     "table1": report_table1,
     "fig4": report_fig4,
@@ -358,6 +435,7 @@ REPORTS = {
     "fig7": report_fig7,
     "blur": report_blur,
     "usedops": report_usedops,
+    "telemetry": report_telemetry,
 }
 
 
@@ -383,6 +461,8 @@ def main(argv=None) -> int:
         print(report_blur())
         print()
         print(report_usedops())
+        print()
+        print(report_telemetry())
         return 0
     print(REPORTS[argv[0]]())
     return 0

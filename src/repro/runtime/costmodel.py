@@ -119,6 +119,13 @@ class CodegenStats:
         return {phase.value: cyc / n for phase, cyc in sorted(
             self.cycles.items(), key=lambda kv: kv[0].value)}
 
+    def phase_cycles(self) -> dict:
+        """Phase -> raw cycle total, in canonical :class:`Phase` order
+        (the exact numbers the telemetry tracer tiles a compile span
+        with)."""
+        return {phase: self.cycles[phase] for phase in Phase
+                if self.cycles.get(phase)}
+
     def merge(self, other: "CodegenStats") -> None:
         for phase, cyc in other.cycles.items():
             self.cycles[phase] += cyc

@@ -199,7 +199,8 @@ class Machine:
                  fuel: int | None = DEFAULT_FUEL,
                  icache: ICache | None = None,
                  code_capacity: int = DEFAULT_CODE_CAPACITY,
-                 engine: str = "block"):
+                 engine: str = "block",
+                 telemetry: str | None = None):
         if engine not in ENGINES:
             raise MachineError(
                 f"unknown execution engine {engine!r} "
@@ -211,6 +212,14 @@ class Machine:
         self.fuel = fuel
         self.icache = icache
         self.engine = engine
+        # Execution-span tracing: off by default (the hot path pays one
+        # attribute check); a Process usually installs its own tracer.
+        self.tracer = None
+        if telemetry is not None:
+            from repro.telemetry.trace import Tracer, resolve_mode
+
+            if resolve_mode(telemetry) != "off":
+                self.tracer = Tracer(telemetry)
         self.output: list = []
         self._host_functions: list = []
         self._host_index: dict = {}
@@ -317,7 +326,21 @@ class Machine:
             cpu.regs[reg] = wrap32(int(value))
         for freg, value in zip(FARG_REGS, fargs):
             cpu.fregs[freg] = float(value)
-        self._run(entry, self.fuel if fuel is None else fuel, name)
+        budget = self.fuel if fuel is None else fuel
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled and tracer.sample("exec"):
+            label = name or self.code.function_at(entry) or str(entry)
+            span = tracer.begin(f"exec:{label}", cat="exec", entry=entry)
+            before = cpu.cycles
+            try:
+                self._run(entry, budget, name)
+            except MachineError as trap:
+                tracer.end(span, advance=cpu.cycles - before,
+                           trap=type(trap).__name__)
+                raise
+            tracer.end(span, advance=cpu.cycles - before)
+        else:
+            self._run(entry, budget, name)
         if returns == "f":
             return cpu.fregs[FReg.F0]
         if returns in ("v", None):

@@ -579,6 +579,11 @@ class BlockEngine:
             self._blocks[entry] = blk
             self._block_end[entry] = entry + len(instrs)
         report.record_block_compiled(len(instrs), fused)
+        tracer = getattr(self.machine, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            tracer.instant("superblock", cat="event", entry=entry,
+                           instructions=len(instrs),
+                           fused=sum(fused.values()))
         return blk
 
     def _assemble(self, g: _Gen):

@@ -32,6 +32,10 @@ import bisect
 
 from repro.errors import CodeSegmentExhausted, LinkError
 from repro.target.isa import Instruction, Op
+from repro.telemetry.metrics import REGISTRY
+
+_ROLLBACKS = REGISTRY.counter("segment.rollbacks")
+_FAULTS = REGISTRY.counter("segment.faults")
 
 #: Default capacity of the code segment, in instructions.
 DEFAULT_CODE_CAPACITY = 1 << 20
@@ -119,6 +123,7 @@ class CodeSegment:
         self._invalidation_listeners.append(fn)
 
     def _notify_invalidation(self, kind: str, length) -> None:
+        (_ROLLBACKS if kind == "rollback" else _FAULTS).inc()
         for fn in self._invalidation_listeners:
             fn(kind, length)
 

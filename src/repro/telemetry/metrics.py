@@ -1,0 +1,287 @@
+"""The metrics registry: typed counters, gauges, histograms, event logs.
+
+One process-wide :data:`REGISTRY` absorbs the ad-hoc module-level stats
+dicts that grew in :mod:`repro.report` over PRs 1-4 (fallbacks, the
+specialization cache, the block-dispatch engine, the verifier suite).
+The legacy accessors in ``report`` are thin views over these metrics, so
+nothing downstream had to change; new subsystems register metrics here
+directly.
+
+Metric types
+------------
+
+``Counter``
+    a monotonically increasing number (int or float); ``reset()`` zeroes.
+``Gauge``
+    a point-in-time value (last write wins).
+``LabeledCounter``
+    a family of counters keyed by a string label (``fused_by_kind``,
+    verifier diagnostics per layer).  ``preset`` labels survive a reset
+    at zero, matching the legacy dict shapes.
+``Histogram``
+    fixed-boundary distribution; records count/sum/min/max plus one
+    bucket per boundary (bucket *i* counts values <= ``bounds[i]``, the
+    last bucket is the overflow).
+``EventLog``
+    a bounded ring of recent events with an *exact* total count — the
+    fix for ``FALLBACK_STATS["events"]`` growing without bound in
+    long-running processes.
+
+This module is intentionally a leaf: it imports nothing from the rest of
+the package, so every layer (target machine, back ends, verifier, driver,
+report) can feed it without cycles.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+
+#: Retained-event cap for bounded event logs.  The total stays exact;
+#: only the per-event detail beyond the cap is dropped (oldest first).
+DEFAULT_EVENT_CAPACITY = 256
+
+#: Histogram boundaries for modeled codegen cycles per compile().
+CYCLE_BOUNDS = (100, 300, 1_000, 3_000, 10_000, 30_000,
+                100_000, 300_000, 1_000_000)
+
+#: Histogram boundaries for generated instructions per compile().
+INSTRUCTION_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+
+#: The compile() outcome classes whose latency distributions we keep
+#: apart: a Tier-1 memo hit, a Tier-2 template patch, and a cold build.
+COMPILE_PATHS = ("hit", "patched", "cold", "fallback")
+
+
+class Counter:
+    """A monotonically increasing count (int or float)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self):
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value; the last write wins."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self):
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class LabeledCounter:
+    """A family of counters keyed by a string label.
+
+    ``preset`` labels are created at zero and survive :meth:`reset`, so
+    views that promise a fixed key set (e.g. the verifier's four layers)
+    keep their shape.
+    """
+
+    __slots__ = ("name", "preset", "values")
+
+    def __init__(self, name: str, preset=()):
+        self.name = name
+        self.preset = tuple(preset)
+        self.values = {label: 0 for label in self.preset}
+
+    def inc(self, label: str, n=1) -> None:
+        self.values[label] = self.values.get(label, 0) + n
+
+    def get(self, label: str):
+        return self.values.get(label, 0)
+
+    def reset(self) -> None:
+        self.values = {label: 0 for label in self.preset}
+
+    def snapshot(self) -> dict:
+        return dict(self.values)
+
+    def __repr__(self) -> str:
+        return f"<LabeledCounter {self.name} {self.values}>"
+
+
+class Histogram:
+    """A fixed-boundary distribution with count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str, bounds):
+        self.name = name
+        self.bounds = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram bounds must be sorted: {bounds}")
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def record(self, value) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count, "sum": self.total,
+            "min": self.min, "max": self.max,
+            "bounds": list(self.bounds), "buckets": list(self.buckets),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} sum={self.total}>"
+
+
+class EventLog:
+    """A bounded ring of recent events with an exact total count."""
+
+    __slots__ = ("name", "capacity", "total", "_events")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_EVENT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("event log capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.total = 0
+        self._events = deque(maxlen=capacity)
+
+    def append(self, event) -> None:
+        self.total += 1
+        self._events.append(event)
+
+    @property
+    def dropped(self) -> int:
+        """Events no longer retained (total is still exact)."""
+        return self.total - len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index):
+        return list(self._events)[index]
+
+    def reset(self) -> None:
+        self.total = 0
+        self._events.clear()
+
+    def snapshot(self) -> dict:
+        return {"total": self.total, "dropped": self.dropped,
+                "recent": list(self._events)}
+
+    def __repr__(self) -> str:
+        return f"<EventLog {self.name} {len(self._events)}/{self.total}>"
+
+
+class MetricsRegistry:
+    """All metrics, by name.  Get-or-create accessors keep call sites
+    one-liners; metric objects are stable across :meth:`reset` (reset
+    zeroes in place), so modules may cache them at import time."""
+
+    def __init__(self):
+        self._metrics: dict = {}
+
+    def _get(self, name: str, factory, kind):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name), Gauge)
+
+    def labeled(self, name: str, preset=()) -> LabeledCounter:
+        return self._get(name, lambda: LabeledCounter(name, preset),
+                         LabeledCounter)
+
+    def histogram(self, name: str, bounds) -> Histogram:
+        return self._get(name, lambda: Histogram(name, bounds), Histogram)
+
+    def events(self, name: str,
+               capacity: int = DEFAULT_EVENT_CAPACITY) -> EventLog:
+        return self._get(name, lambda: EventLog(name, capacity), EventLog)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """{name: plain-python value} for every registered metric."""
+        return {name: metric.snapshot()
+                for name, metric in sorted(self._metrics.items())}
+
+    def reset(self) -> None:
+        """Zero every metric in place (objects keep their identity)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+
+#: The process-wide registry every subsystem feeds.
+REGISTRY = MetricsRegistry()
+
+
+def record_compile(path: str, cycles: int, instructions: int) -> None:
+    """Per-``compile()`` distributions: total modeled codegen cycles,
+    generated instructions, and the latency class of the serving path
+    (``hit``/``patched``/``cold``/``fallback``)."""
+    REGISTRY.histogram("compile.codegen_cycles", CYCLE_BOUNDS).record(cycles)
+    REGISTRY.histogram("compile.generated_instructions",
+                       INSTRUCTION_BOUNDS).record(instructions)
+    REGISTRY.histogram(f"compile.latency.{path}", CYCLE_BOUNDS).record(cycles)

@@ -31,6 +31,11 @@ from repro.target.isa import (
     Reg,
 )
 from repro.target.program import Label
+from repro.telemetry.metrics import REGISTRY
+
+#: getreg exhaustions that fell back to a spill slot (telemetry; the
+#: per-access ``lvalue_check`` charges remain the modeled cost).
+_SPILLS = REGISTRY.counter("backend.vcode.spills")
 
 # opname -> (register form, immediate form)
 _BINOPS = {
@@ -123,6 +128,7 @@ class VcodeBackend:
         else:
             idx = self.n_spill_slots
             self.n_spill_slots += 1
+        _SPILLS.inc()
         return Spill(idx, cls)
 
     def free_reg(self, handle) -> None:

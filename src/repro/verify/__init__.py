@@ -40,6 +40,7 @@ import time
 
 from repro import report
 from repro.errors import VerifyError
+from repro.telemetry import trace as _trace
 
 MODES = ("off", "dev", "paranoid")
 
@@ -95,8 +96,15 @@ def run_checker(layer: str, checker, *args, **kwargs):
     """
     started = time.perf_counter()
     diagnostics = checker(*args, **kwargs)
-    report.record_verify(layer, len(diagnostics),
-                         time.perf_counter() - started)
+    seconds = time.perf_counter() - started
+    report.record_verify(layer, len(diagnostics), seconds)
+    tracer = _trace.active()
+    if tracer.enabled:
+        # Verifier layers have no modeled cost, so they appear on the
+        # trace as instants carrying host wall time.
+        tracer.instant(f"verify:{layer}", cat="verify",
+                       wall_us=round(seconds * 1e6, 1),
+                       diagnostics=len(diagnostics))
     if diagnostics:
         raise VerifyError(layer, diagnostics)
 

@@ -1,0 +1,111 @@
+"""Coverage for the ``python -m repro.report`` CLI: every subcommand,
+``all``, and the bad-argument exit path.
+
+The expensive measurement machinery is monkeypatched with canned
+:class:`MeasureResult` objects so the whole matrix runs in milliseconds;
+the real figures are exercised by benchmarks/.
+"""
+
+import pytest
+
+from repro import report
+from repro.apps.base import MeasureResult
+from repro.telemetry.trace import Tracer
+
+
+def _fake_result(app_name="hash", backend="icode", static_opt="lcc"):
+    r = MeasureResult(app_name, backend, "linear", static_opt)
+    r.dynamic_cycles = 1_000
+    r.static_cycles = 3_000
+    r.codegen_cycles = 20_000
+    r.generated_instructions = 40
+    r.cycles_per_instruction = 500.0
+    r.phase_breakdown = {"closure": 20.0, "emit": 400.0, "link": 5.0,
+                         "ir": 60.0, "flowgraph": 10.0, "liveness": 30.0,
+                         "intervals": 15.0, "regalloc": 200.0,
+                         "translate": 80.0}
+    r.dynamic_result = r.static_result = r.expected = 7
+    r.correct = True
+    tracer = Tracer("on")
+    with tracer.span("run:fake", cat="spec"):
+        tracer.advance(100)
+    r.tracer = tracer
+    return r
+
+
+class _FakeUsedOps:
+    used_count = 12
+    full_size = 4_000
+    pruned_size = 400
+    reduction_factor = 10.0
+
+
+@pytest.fixture
+def cheap_reports(monkeypatch):
+    monkeypatch.setattr(
+        "repro.apps.harness.measure",
+        lambda app, **kw: _fake_result(app.name, kw.get("backend", "icode"),
+                                       kw.get("static_opt", "lcc")))
+    monkeypatch.setattr(
+        report, "_series_results",
+        lambda names: {
+            name: {f"{b}-{s}": _fake_result(name, b, s)
+                   for b, s in report.SERIES}
+            for name in names
+        })
+    monkeypatch.setattr(
+        "repro.apps.table1.table1",
+        lambda: {"one small workload": {"vcode": 150.0, "icode": 1_100.0}})
+    monkeypatch.setattr(
+        "repro.analysis.collect_used_ops", lambda prog: _FakeUsedOps())
+
+    class _FakeTcc:
+        def compile(self, source, filename="<source>"):
+            return None
+
+    monkeypatch.setattr("repro.core.driver.TccCompiler", _FakeTcc)
+
+
+@pytest.mark.usefixtures("cheap_reports")
+class TestEverySubcommand:
+    @pytest.mark.parametrize("name, marker", [
+        ("table1", "cycles per generated instruction"),
+        ("fig4", "run-time ratio"),
+        ("fig5", "cross-over point"),
+        ("fig6", "VCODE dynamic compilation cost breakdown"),
+        ("fig7", "linear scan (LS) vs graph"),
+        ("blur", "xv Blur case study"),
+        ("usedops", "ICODE-emitter pruning"),
+        ("telemetry", "Telemetry summary"),
+    ])
+    def test_subcommand_exits_zero_and_renders(self, capsys, name, marker):
+        assert report.main([name]) == 0
+        assert marker in capsys.readouterr().out
+
+    def test_all_concatenates_every_report(self, capsys):
+        assert report.main(["all"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 1", "Figure 4", "Figure 5", "Figure 6",
+                       "Figure 7", "Blur", "pruning", "Telemetry"):
+            assert marker in out
+
+    def test_fig5_renders_dash_when_never_amortized(self, capsys):
+        results = {"hash": {f"{b}-{s}": _fake_result("hash", b, s)
+                            for b, s in report.SERIES}}
+        for row in results["hash"].values():
+            row.static_cycles = row.dynamic_cycles  # gain <= 0
+        text = report.report_fig5(results)
+        assert "-" in text.splitlines()[-1]
+
+
+class TestBadArguments:
+    @pytest.mark.parametrize("argv", [[], ["nonsense"], ["fig99"]])
+    def test_unknown_subcommand_prints_usage_and_fails(self, capsys, argv):
+        assert report.main(argv) == 1
+        assert "python -m repro.report" in capsys.readouterr().out
+
+    def test_registry_of_reports_matches_cli(self):
+        assert set(report.REPORTS) == {
+            "table1", "fig4", "fig5", "fig6", "fig7", "blur", "usedops",
+            "telemetry",
+        }
