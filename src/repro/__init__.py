@@ -44,12 +44,14 @@ from repro.errors import (
     CodeSegmentExhausted,
     CompileError,
     CycleBudgetExceeded,
+    DeadlineExceeded,
     IllegalInstruction,
     LexError,
     LinkError,
     MachineError,
     OutOfMemory,
     ParseError,
+    RequestFailed,
     RuntimeTccError,
     SegmentationFault,
     TccError,
@@ -57,6 +59,7 @@ from repro.errors import (
     UnalignedAccess,
     VerifyError,
 )
+from repro.serving import Engine, RequestOutcome, Session
 from repro.target.cpu import Function, ICache, Machine
 from repro.target.memory import Memory
 
@@ -71,6 +74,9 @@ __all__ = [
     "Memory",
     "ICache",
     "Function",
+    "Engine",
+    "Session",
+    "RequestOutcome",
     "TccError",
     "CompileError",
     "LexError",
@@ -85,6 +91,8 @@ __all__ = [
     "CycleBudgetExceeded",
     "CodeSegmentExhausted",
     "OutOfMemory",
+    "DeadlineExceeded",
+    "RequestFailed",
     "LinkError",
     "VerifyError",
     "__version__",

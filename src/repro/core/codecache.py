@@ -46,6 +46,7 @@ an emit fault is injected, or when the segment is reset (see
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.runtime.closures import ClosureSignature, signature_of
@@ -56,6 +57,9 @@ from repro.telemetry.metrics import REGISTRY
 
 #: Memo entries + templates dropped by segment rollback/fault events.
 _INVALIDATED = REGISTRY.counter("cache.invalidated")
+#: Templates evicted because their body failed its integrity checksum
+#: (cache poisoning — tampering with the shared template store).
+_POISONED = REGISTRY.counter("cache.poisoned_evictions")
 
 __all__ = [
     "PatchImm",
@@ -304,11 +308,31 @@ class CacheEntry:
         self.cold_cycles = cold_cycles
 
 
+def _body_checksum(instructions) -> int:
+    """Order-sensitive hash of an instruction body (opcode + operands).
+
+    Captured when a template is stored and re-verified before every
+    clone, so tampering with the shared template store (cache poisoning)
+    is detected *before* the corrupt body is copied into a session's code
+    segment — non-hole operands are indistinguishable from ordinary
+    immediates once installed, so the install-time audit alone cannot
+    catch them.
+    """
+    return hash(tuple((i.op, i.a, i.b, i.c) for i in instructions))
+
+
 class CodeTemplate:
-    """One Tier-2 template: a relocatable, patchable installed body."""
+    """One Tier-2 template: a relocatable, patchable installed body.
+
+    Templates reference no session state — the body is a post-link copy,
+    holes/relocs are positional records, and ``entry`` is only the base
+    for relocation deltas — so one template can be cloned into *any*
+    machine running the same program (the shared
+    :class:`~repro.serving.store.TemplateStore` relies on this).
+    """
 
     __slots__ = ("values", "patchable", "holes", "relocs", "instructions",
-                 "entry", "end", "guards", "cold_cycles")
+                 "entry", "end", "guards", "cold_cycles", "checksum")
 
     def __init__(self, recorder: PatchRecorder, end, cold_cycles):
         self.values = recorder.signature.values
@@ -320,6 +344,11 @@ class CodeTemplate:
         self.end = end
         self.guards = recorder.guards
         self.cold_cycles = cold_cycles
+        self.checksum = _body_checksum(self.instructions)
+
+    def verify_integrity(self) -> bool:
+        """True when the body still hashes to the stored checksum."""
+        return _body_checksum(self.instructions) == self.checksum
 
     def matches(self, signature: ClosureSignature) -> bool:
         """Every origin must carry the template's exact value unless it is
@@ -367,39 +396,66 @@ def _guards_hold(guards, memory) -> bool:
 
 
 class CodeCache:
-    """Per-process store of Tier-1 memo entries and Tier-2 templates."""
+    """Per-process store of Tier-1 memo entries and Tier-2 templates.
+
+    ``template_store`` (optional) replaces the local Tier-2 bucket with a
+    shared, thread-safe :class:`~repro.serving.store.TemplateStore` owned
+    by a serving :class:`~repro.serving.engine.Engine`: templates are
+    position-independent copies, so many sessions can clone from one
+    store while Tier-1 memo entries — absolute addresses in *this*
+    machine's code segment — stay private.  All mutating operations are
+    guarded by a re-entrant lock; the per-session fast paths are
+    single-threaded, but segment invalidation events may arrive while
+    another thread inspects :meth:`stats`.
+    """
 
     def __init__(self, enabled=True, templates_enabled=True,
                  memo_capacity=MEMO_CAPACITY,
-                 templates_per_shape=TEMPLATES_PER_SHAPE):
+                 templates_per_shape=TEMPLATES_PER_SHAPE,
+                 template_store=None):
         self.enabled = enabled
         self.templates_enabled = templates_enabled
         self.memo_capacity = memo_capacity
         self.templates_per_shape = templates_per_shape
+        self.template_store = template_store
         self._memo = OrderedDict()   # (shape_key, values_key) -> CacheEntry
         self._templates = {}         # shape_key -> [CodeTemplate, ...]
+        self._lock = threading.RLock()
 
     # -- lookups ----------------------------------------------------------
 
     def lookup(self, signature, memory):
         """Tier-1 probe: exact-key hit with guards still holding."""
-        entry = self._memo.get(signature.key)
-        if entry is None:
-            return None
-        if not _guards_hold(entry.guards, memory):
-            del self._memo[signature.key]
-            return None
-        return entry
+        with self._lock:
+            entry = self._memo.get(signature.key)
+            if entry is None:
+                return None
+            if not _guards_hold(entry.guards, memory):
+                del self._memo[signature.key]
+                return None
+            return entry
 
     def match_template(self, signature, memory):
         """Tier-2 probe: a same-shape template whose non-hole values all
-        match and whose guards still hold."""
+        match, whose guards still hold, and whose body passes its
+        integrity checksum.  A template that fails the checksum was
+        tampered with (cache poisoning): it is evicted on the spot and
+        never cloned."""
         if not self.templates_enabled:
             return None
-        for template in self._templates.get(signature.shape_key, ()):
-            if template.matches(signature) and _guards_hold(template.guards,
-                                                            memory):
-                return template
+        if self.template_store is not None:
+            return self.template_store.match(signature, memory)
+        with self._lock:
+            bucket = self._templates.get(signature.shape_key, ())
+            for template in list(bucket):
+                if not template.matches(signature):
+                    continue
+                if not template.verify_integrity():
+                    bucket.remove(template)
+                    _POISONED.inc()
+                    continue
+                if _guards_hold(template.guards, memory):
+                    return template
         return None
 
     # -- stores -----------------------------------------------------------
@@ -408,23 +464,55 @@ class CodeCache:
         """Record a completed cold instantiation in both tiers."""
         if not self.enabled or recorder is None or recorder.disabled:
             return
-        self._memo_put(signature.key,
-                       CacheEntry(entry, end, list(recorder.guards),
-                                  cold_cycles))
-        if (self.templates_enabled and recorder.instructions is not None
-                and recorder.patchable_origins()):
-            bucket = self._templates.setdefault(signature.shape_key, [])
-            bucket.append(CodeTemplate(recorder, end, cold_cycles))
-            if len(bucket) > self.templates_per_shape:
-                bucket.pop(0)
+        with self._lock:
+            self._memo_put(signature.key,
+                           CacheEntry(entry, end, list(recorder.guards),
+                                      cold_cycles))
+            if (self.templates_enabled and recorder.instructions is not None
+                    and recorder.patchable_origins()):
+                template = CodeTemplate(recorder, end, cold_cycles)
+                if self.template_store is not None:
+                    self.template_store.add(signature.shape_key, template)
+                    return
+                bucket = self._templates.setdefault(signature.shape_key, [])
+                bucket.append(template)
+                if len(bucket) > self.templates_per_shape:
+                    bucket.pop(0)
 
     def store_patched(self, signature, template, entry, end) -> None:
         """A Tier-2 clone is itself a valid Tier-1 entry for its key."""
         if not self.enabled:
             return
-        self._memo_put(signature.key,
-                       CacheEntry(entry, end, list(template.guards),
-                                  template.cold_cycles))
+        with self._lock:
+            self._memo_put(signature.key,
+                           CacheEntry(entry, end, list(template.guards),
+                                      template.cold_cycles))
+
+    def evict_template(self, signature, template) -> None:
+        """Drop one template (failed clone audit, poisoning, ...)."""
+        if self.template_store is not None:
+            self.template_store.evict(signature.shape_key, template)
+            return
+        with self._lock:
+            bucket = self._templates.get(signature.shape_key)
+            if bucket and template in bucket:
+                bucket.remove(template)
+
+    def tamper_first(self) -> bool:
+        """Chaos hook: corrupt one operand of one retained template in
+        place (simulated cache poisoning; the checksum must catch it).
+        Returns True when a template was found to tamper with."""
+        if self.template_store is not None:
+            return self.template_store.tamper_first()
+        with self._lock:
+            for bucket in self._templates.values():
+                for template in bucket:
+                    if template.instructions:
+                        instr = template.instructions[0]
+                        instr.a = (instr.a + 1
+                                   if isinstance(instr.a, int) else 1)
+                        return True
+        return False
 
     def _memo_put(self, key, entry) -> None:
         self._memo[key] = entry
@@ -472,33 +560,43 @@ class CodeCache:
     # -- invalidation ------------------------------------------------------
 
     def on_segment_event(self, kind, length=None) -> None:
-        """CodeSegment invalidation listener (see program.py)."""
-        if kind == "rollback":
-            stale = [k for k, e in self._memo.items() if e.end > length]
-            for k in stale:
-                del self._memo[k]
-            _INVALIDATED.inc(len(stale))
-            for shape, bucket in list(self._templates.items()):
-                kept = [t for t in bucket if t.end <= length]
-                _INVALIDATED.inc(len(bucket) - len(kept))
-                if kept:
-                    self._templates[shape] = kept
-                else:
-                    del self._templates[shape]
-        else:  # "fault" or anything else: be conservative, drop everything
-            self.clear()
+        """CodeSegment invalidation listener (see program.py).
+
+        Both kinds only touch *this* cache's state: memo entries are
+        machine-specific, and templates in a shared store are post-link
+        copies that do not reference the faulting segment, so a
+        session-local fault must not evict another session's warm
+        templates.
+        """
+        with self._lock:
+            if kind == "rollback":
+                stale = [k for k, e in self._memo.items() if e.end > length]
+                for k in stale:
+                    del self._memo[k]
+                _INVALIDATED.inc(len(stale))
+                for shape, bucket in list(self._templates.items()):
+                    kept = [t for t in bucket if t.end <= length]
+                    _INVALIDATED.inc(len(bucket) - len(kept))
+                    if kept:
+                        self._templates[shape] = kept
+                    else:
+                        del self._templates[shape]
+            else:  # "fault" or anything else: be conservative, drop everything
+                self.clear()
 
     def clear(self) -> None:
-        _INVALIDATED.inc(len(self._memo)
-                         + sum(len(b) for b in self._templates.values()))
-        self._memo.clear()
-        self._templates.clear()
+        with self._lock:
+            _INVALIDATED.inc(len(self._memo)
+                             + sum(len(b) for b in self._templates.values()))
+            self._memo.clear()
+            self._templates.clear()
 
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> dict:
-        return {
-            "memo_entries": len(self._memo),
-            "template_shapes": len(self._templates),
-            "templates": sum(len(b) for b in self._templates.values()),
-        }
+        with self._lock:
+            return {
+                "memo_entries": len(self._memo),
+                "template_shapes": len(self._templates),
+                "templates": sum(len(b) for b in self._templates.values()),
+            }

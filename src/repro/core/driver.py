@@ -259,9 +259,15 @@ class Process:
         self.compile_count = 0
         self._compile_path = None        # "hit"/"patched"/"cold"/"fallback"
         self._compile_signature = None
+        # The serving layer (repro.serving) sets ``envelope`` per request:
+        # when present it drives compile() through the degradation ladder
+        # (deadline + retries + circuit breakers) instead of the plain
+        # single-attempt path below.
+        self.envelope = None
         self.codecache = CodeCache(
             enabled=options.get("codecache", True),
             templates_enabled=options.get("code_templates", True),
+            template_store=options.get("template_store"),
         )
         machine.code.add_invalidation_listener(self.codecache.on_segment_event)
         self._strings: dict = {}
@@ -428,8 +434,8 @@ class Process:
     def register_param(self, vspec) -> None:
         self.current_params.append(vspec)
 
-    def make_backend(self):
-        if self.backend_kind is BackendKind.VCODE:
+    def make_backend(self, kind: BackendKind | None = None):
+        if (kind or self.backend_kind) is BackendKind.VCODE:
             return VcodeBackend(
                 self.machine, self.cost,
                 allow_spills=self.options.get("allow_spills", True),
@@ -476,18 +482,33 @@ class Process:
         self._compile_signature = None
         if traced:
             with _trace.activate(tracer):
-                entry = self._compile_closure(closure, ret_type)
+                entry = self._compile_dispatch(closure, ret_type)
         else:
-            entry = self._compile_closure(closure, ret_type)
+            entry = self._compile_dispatch(closure, ret_type)
         stats = self.last_codegen_stats
-        path = self._compile_path or "cold"
+        path = self._compile_path = self._compile_path or "cold"
         _metrics.record_compile(path, stats.total_cycles(),
                                 stats.generated_instructions)
         if traced:
             self._trace_compile(tracer, closure, entry, stats, path)
         return entry
 
-    def _compile_closure(self, closure, ret_type) -> int:
+    def _compile_dispatch(self, closure, ret_type) -> int:
+        """Route one compile() through the serving envelope when a session
+        attached one, else straight down the classic path."""
+        if self.envelope is None:
+            return self._compile_closure(closure, ret_type)
+        return self.envelope.compile_closure(self, closure, ret_type)
+
+    def _compile_closure(self, closure, ret_type, backend_kind=None,
+                         use_templates=True, allow_fallback=True) -> int:
+        """One instantiation attempt.  ``backend_kind``/``use_templates``/
+        ``allow_fallback`` are the degradation-ladder knobs: the serving
+        envelope retries this method with a forced back end, templates
+        bypassed, and the implicit ICODE->VCODE fallback disabled (the
+        ladder owns backend demotion there).  Defaults reproduce the
+        classic single-attempt behavior exactly."""
+        effective = backend_kind or self.backend_kind
         try:
             # Bind dynamic parameters created via param().
             params = sorted(self.current_params, key=lambda v: v.index)
@@ -499,20 +520,23 @@ class Process:
                 )
             signature = None
             if self.codecache.enabled:
-                signature = signature_of(closure, params,
-                                         self._cache_config_key(ret_type))
+                signature = signature_of(
+                    closure, params,
+                    self._cache_config_key(ret_type, effective))
                 self._compile_signature = signature
-                entry = self._try_cached(signature)
+                entry = self._try_cached(signature,
+                                         use_templates=use_templates)
                 if entry is not None:
                     return self._note_compiled(entry, closure)
                 report.record_cache_miss()
             recorder = (PatchRecorder(signature)
                         if signature is not None else None)
             try:
-                entry = self._instantiate(self.make_backend(), closure,
-                                          ret_type, params, recorder)
+                entry = self._instantiate(self.make_backend(effective),
+                                          closure, ret_type, params, recorder)
             except (CodegenError, CodeSegmentExhausted) as primary:
-                if (self.backend_kind is not BackendKind.ICODE
+                if (effective is not BackendKind.ICODE
+                        or not allow_fallback
                         or not self.options.get("fallback", True)):
                     raise
                 recorder = None
@@ -542,11 +566,11 @@ class Process:
             # a failed compile() must not leak vspecs into the next one.
             self.current_params = []
 
-    def _cache_config_key(self, ret_type):
+    def _cache_config_key(self, ret_type, backend_kind=None):
         """Every knob that changes what code an instantiation produces."""
         opts = self.options
         return (
-            self.backend_kind.value,
+            (backend_kind or self.backend_kind).value,
             self.regalloc,
             bool(opts.get("allow_spills", True)),
             bool(opts.get("optimize_dynamic_ir", True)),
@@ -600,13 +624,17 @@ class Process:
         )
         return entry
 
-    def _try_cached(self, signature):
+    def _try_cached(self, signature, use_templates=True):
         """Probe both cache tiers; return an entry address or None.
 
         Tier 1 returns the previously installed function outright.  Tier 2
         clones a matching template through the normal emission path
         (capacity checks and fault injection still apply) and patches its
-        holes; a failed clone is rolled back and treated as a miss.
+        holes.  Clone installation is transactional — audit *then*
+        publish: the clone is audited against the template while still
+        inside the mark()/commit() scope, so any failure (exhaustion,
+        injected fault, mis-patch, even an unexpected crash) rolls the
+        half-emitted body back before anything can observe it.
         """
         cache = self.codecache
         memory = self.machine.memory
@@ -619,6 +647,8 @@ class Process:
             )
             self._compile_path = "hit"
             return hit.entry
+        if not use_templates:
+            return None
         template = cache.match_template(signature, memory)
         if template is None:
             return None
@@ -628,9 +658,12 @@ class Process:
             entry = cache.instantiate_template(template, signature, machine,
                                                self.cost)
             machine.code.link()
+            # The template audit always runs: it is the publish gate that
+            # keeps a partially emitted / mis-patched clone from becoming
+            # callable, independent of the verify mode.
+            codeaudit.run_template(machine, template, signature, entry,
+                                   where=f"template@{entry}")
             if self.verify != "off":
-                codeaudit.run_template(machine, template, signature, entry,
-                                       where=f"template@{entry}")
                 codeaudit.run_range(machine, entry, machine.code.here,
                                     where=f"template@{entry}")
         except CodeSegmentExhausted:
@@ -641,6 +674,12 @@ class Process:
             # A mis-patched clone is a genuine bug: unpublish it, then
             # surface the diagnostics rather than silently falling back.
             machine.code.release()
+            raise
+        except BaseException:
+            # Anything else mid-clone must not leave the partial body
+            # published either.
+            machine.code.release()
+            self.cost.begin_instantiation()
             raise
         machine.code.commit()
         cache.store_patched(signature, template, entry, machine.code.here)

@@ -145,6 +145,30 @@ class OutOfMemory(MachineError):
     to simulate that)."""
 
 
+class DeadlineExceeded(RuntimeTccError):
+    """A serving request ran out of its end-to-end modeled-cycle budget.
+
+    Distinct from :class:`CycleBudgetExceeded` (the *watchdog*, a hard
+    per-call cap against runaway execution): the deadline is a per-request
+    envelope covering compilation, retries, backoff, and execution
+    together (see :mod:`repro.serving.envelope`).
+    """
+
+
+class RequestFailed(RuntimeTccError):
+    """A serving request exhausted every rung of the degradation ladder.
+
+    ``last_error`` carries the failure from the final rung; ``tier`` the
+    rung it died on.
+    """
+
+    def __init__(self, message: str, tier: str = "",
+                 last_error: Exception | None = None):
+        self.tier = tier
+        self.last_error = last_error
+        super().__init__(message)
+
+
 class LinkError(TccError):
     """Unresolved symbol or label at link time."""
 

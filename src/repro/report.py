@@ -233,11 +233,72 @@ def reset_verify_stats() -> None:
     _VERIFY_SECONDS.reset()
 
 
+# -- serving engine -----------------------------------------------------------
+
+_SERVING_KEYS = ("requests", "completed", "failed", "retries",
+                 "deadline_misses", "breaker_opens", "degraded")
+_SERVING = {key: _REGISTRY.counter(f"serving.{key}")
+            for key in _SERVING_KEYS}
+_DEGRADED_BY_TIER = _REGISTRY.labeled("serving.degraded_by_tier")
+
+#: Serving-engine counters, fed by :mod:`repro.serving`: requests served,
+#: completions/failures, retry attempts, deadline misses, circuit-breaker
+#: opens, and requests served at a degraded rung (per tier name).
+SERVING_STATS = _StatsView({
+    **{key: (lambda c=_SERVING[key]: c.value) for key in _SERVING_KEYS},
+    "degraded_by_tier": _DEGRADED_BY_TIER.snapshot,
+})
+
+
+# The serving record helpers accept the registry to write to: a session
+# passes its per-session registry (rolled up into the global one when the
+# session closes); None writes to the global registry directly.
+
+def record_request(outcome: str, registry=None) -> None:
+    """Record one serving request: ``outcome`` is "completed"/"failed"."""
+    reg = registry or _REGISTRY
+    reg.counter("serving.requests").inc()
+    if outcome in ("completed", "failed"):
+        reg.counter(f"serving.{outcome}").inc()
+
+
+def record_retry(registry=None) -> None:
+    (registry or _REGISTRY).counter("serving.retries").inc()
+
+
+def record_deadline_miss(registry=None) -> None:
+    (registry or _REGISTRY).counter("serving.deadline_misses").inc()
+
+
+def record_breaker_open(registry=None) -> None:
+    (registry or _REGISTRY).counter("serving.breaker_opens").inc()
+
+
+def record_degraded(tier: str, registry=None) -> None:
+    """Record one request served below the top rung of the ladder."""
+    reg = registry or _REGISTRY
+    reg.counter("serving.degraded").inc()
+    reg.labeled("serving.degraded_by_tier").inc(tier)
+
+
+def serving_stats() -> dict:
+    out = {key: _SERVING[key].value for key in _SERVING_KEYS}
+    out["degraded_by_tier"] = _DEGRADED_BY_TIER.snapshot()
+    return out
+
+
+def reset_serving_stats() -> None:
+    for counter in _SERVING.values():
+        counter.reset()
+    _DEGRADED_BY_TIER.reset()
+
+
 def reset() -> None:
     """Reset every cross-process counter the registry accumulates —
     backend fallbacks, specialization-cache statistics, block-dispatch
-    engine statistics, verifier statistics, and the newer telemetry
-    metrics (compile histograms, segment events, backend counters)."""
+    engine statistics, verifier statistics, serving-engine statistics,
+    and the newer telemetry metrics (compile histograms, segment events,
+    backend counters)."""
     _REGISTRY.reset()
 
 

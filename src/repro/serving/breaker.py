@@ -1,0 +1,134 @@
+"""Circuit breakers and the graceful-degradation ladder.
+
+The ladder orders the ways a session can serve one ``compile()`` +
+execute request, from fastest to most conservative:
+
+====  ============  ====================================================
+rung  name          what it means
+====  ============  ====================================================
+0     ``patched``   the configured back end with the Tier-2 template
+                    fast path enabled (clone + patch when possible)
+1     ``cold``      the configured back end, templates bypassed — a
+                    full cold instantiation (Tier-1 memo still applies)
+2     ``vcode``     the one-pass VCODE back end, templates bypassed
+3     ``reference`` VCODE-compiled code *executed on the reference
+                    per-instruction stepper* with the block-dispatch
+                    superblock cache distrusted (dropped) first
+====  ============  ====================================================
+
+Each (closure-signature, rung) pair gets its own :class:`CircuitBreaker`,
+scoped to one session — a closure that keeps failing on one rung for one
+client must not degrade other clients.  Breakers follow the classic
+three-state protocol:
+
+``closed``
+    requests flow; ``failure_threshold`` consecutive failures open it.
+``open``
+    the rung is skipped outright for ``probe_after`` subsequent requests
+    of that signature, then the breaker half-opens.
+``half-open``
+    exactly one probe request is let through; success closes the
+    breaker, failure re-opens it for another ``probe_after`` requests.
+
+Time is request-count, not wall time: the simulation is deterministic,
+so "wait a while before probing" means "skip the next N requests".
+"""
+
+from __future__ import annotations
+
+#: The degradation ladder, best rung first.
+LADDER = ("patched", "cold", "vcode", "reference")
+
+
+class CircuitBreaker:
+    """One breaker: closed / open / half-open over a request count."""
+
+    __slots__ = ("failure_threshold", "probe_after", "state", "failures",
+                 "skips_left", "opened_count")
+
+    def __init__(self, failure_threshold: int = 3, probe_after: int = 4):
+        if failure_threshold < 1 or probe_after < 1:
+            raise ValueError("breaker thresholds must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.probe_after = probe_after
+        self.state = "closed"
+        self.failures = 0
+        self.skips_left = 0
+        self.opened_count = 0   # times this breaker tripped open
+
+    def allow(self) -> bool:
+        """May the guarded rung serve the next request?  Called once per
+        routing decision; ticks the open-state skip countdown."""
+        if self.state == "closed":
+            return True
+        if self.state == "half-open":
+            return True
+        # open: count this request against the cool-off, half-open at 0
+        self.skips_left -= 1
+        if self.skips_left <= 0:
+            self.state = "half-open"
+        return False
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.failures = 0
+
+    def record_failure(self) -> bool:
+        """Record one failure; True when the breaker (re-)opened."""
+        if self.state == "half-open":
+            self.state = "open"
+            self.skips_left = self.probe_after
+            self.opened_count += 1
+            return True
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self.state = "open"
+            self.skips_left = self.probe_after
+            self.opened_count += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (f"<CircuitBreaker {self.state} failures={self.failures} "
+                f"opened={self.opened_count}>")
+
+
+class BreakerBoard:
+    """All breakers of one session, keyed ``(routing_key, rung)``.
+
+    The routing key is the closure signature's base-configuration key —
+    the same closure+bindings always lands on the same breakers, and two
+    different specializations never share fate.
+    """
+
+    def __init__(self, failure_threshold: int = 3, probe_after: int = 4):
+        self.failure_threshold = failure_threshold
+        self.probe_after = probe_after
+        self._breakers: dict = {}
+
+    def breaker(self, key, rung: int) -> CircuitBreaker:
+        b = self._breakers.get((key, rung))
+        if b is None:
+            b = CircuitBreaker(self.failure_threshold, self.probe_after)
+            self._breakers[(key, rung)] = b
+        return b
+
+    def start_rung(self, key) -> int:
+        """The best rung whose breaker admits this request.  The last
+        rung (``reference``) is never gated — it is the floor the ladder
+        stands on."""
+        for rung in range(len(LADDER) - 1):
+            if self.breaker(key, rung).allow():
+                return rung
+        return len(LADDER) - 1
+
+    def open_count(self) -> int:
+        return sum(b.opened_count for b in self._breakers.values())
+
+    def states(self) -> dict:
+        """{(key, rung_name): state} for every instantiated breaker."""
+        return {(key, LADDER[rung]): b.state
+                for (key, rung), b in self._breakers.items()}
+
+    def __repr__(self) -> str:
+        return f"<BreakerBoard {len(self._breakers)} breakers>"

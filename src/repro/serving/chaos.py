@@ -1,0 +1,113 @@
+"""Deterministic chaos injection for the serving engine.
+
+The repo's fault hooks (``CodeSegment.inject_emit_failure``,
+``Memory.inject_alloc_failure``) are one-shot and seed-free; this module
+composes them — plus capacity clamps, template tampering, deadline
+squeezes, and watchdog squeezes — into a *schedule*: a deterministic map
+from request index to the fault classes injected just before that
+request runs.  Tests build full cross-product matrices with
+:func:`matrix`; CI enables a background schedule via ``$REPRO_CHAOS``.
+
+Fault classes (:data:`KINDS`):
+
+``emit_fault``
+    the next code-segment emit raises ``CodeSegmentExhausted`` (and the
+    session's memo is dropped via the fault listener) — transient; the
+    envelope retries and recovers at the same rung.
+``exhaust``
+    the code segment's capacity is clamped to its current size; the
+    first rollback (a failed install) restores it, modeling an eviction
+    freeing room — transient.
+``alloc_fault``
+    the next data-memory allocation raises ``OutOfMemory`` — transient.
+``poison``
+    one stored Tier-2 template is tampered with in place; the integrity
+    checksum must catch it before any session clones the corrupt body.
+``deadline``
+    the request's deadline budget is squeezed to 1 modeled cycle — the
+    request must fail with ``DeadlineExceeded``, cleanly.
+``trap``
+    the machine's watchdog fuel is squeezed to 1 cycle for the request —
+    execution trips ``CycleBudgetExceeded``, feeding the exec-side
+    breaker (a "trap storm" opens it and pins the signature to the
+    reference stepper).
+
+``$REPRO_CHAOS`` syntax: comma-separated ``kind:N`` pairs, firing
+``kind`` on every Nth request (e.g. ``emit_fault:3,poison:7``); the bare
+word ``off``/empty disables chaos.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Every fault class the chaos matrix can inject.
+KINDS = ("emit_fault", "exhaust", "alloc_fault", "poison", "deadline",
+         "trap")
+
+
+class ChaosPlan:
+    """A deterministic injection schedule for one session.
+
+    ``at`` maps a 1-based request index to a fault kind (or list of
+    kinds) injected before that request; ``every`` maps a kind to a
+    period N (fire on requests N, 2N, ...).  Both may be combined.
+    """
+
+    def __init__(self, at=None, every=None):
+        self.at: dict = {}
+        for index, kinds in (at or {}).items():
+            if isinstance(kinds, str):
+                kinds = (kinds,)
+            self.at[int(index)] = tuple(self._check(k) for k in kinds)
+        self.every = {self._check(k): int(n)
+                      for k, n in (every or {}).items()}
+        for kind, n in self.every.items():
+            if n < 1:
+                raise ValueError(f"chaos period for {kind!r} must be >= 1")
+
+    @staticmethod
+    def _check(kind: str) -> str:
+        if kind not in KINDS:
+            raise ValueError(
+                f"unknown chaos kind {kind!r} (choose from {', '.join(KINDS)})"
+            )
+        return kind
+
+    def events_for(self, index: int) -> tuple:
+        """The fault kinds to inject before request ``index`` (1-based)."""
+        out = list(self.at.get(index, ()))
+        for kind, n in self.every.items():
+            if index % n == 0 and kind not in out:
+                out.append(kind)
+        return tuple(out)
+
+    def __bool__(self) -> bool:
+        return bool(self.at or self.every)
+
+    def __repr__(self) -> str:
+        return f"<ChaosPlan at={self.at} every={self.every}>"
+
+
+def from_env(env: str | None = None) -> ChaosPlan | None:
+    """Parse ``$REPRO_CHAOS`` (or an explicit string) into a plan."""
+    text = env if env is not None else os.environ.get("REPRO_CHAOS", "")
+    text = text.strip()
+    if not text or text == "off":
+        return None
+    every = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, _, period = part.partition(":")
+        every[kind] = int(period) if period else 1
+    return ChaosPlan(every=every)
+
+
+def chaos_matrix(first_request: int = 1):
+    """One single-shot plan per fault class, for cross-product tests:
+    yields ``(kind, ChaosPlan)`` pairs injecting ``kind`` exactly once,
+    on request ``first_request``."""
+    for kind in KINDS:
+        yield kind, ChaosPlan(at={first_request: kind})

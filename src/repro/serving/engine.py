@@ -1,0 +1,341 @@
+"""The fault-isolated concurrent serving engine.
+
+One :class:`Engine` owns everything that is immutable or thread-safe —
+the statically compiled program, the shared Tier-2
+:class:`~repro.serving.store.TemplateStore`, the engine-level chaos
+schedule — and hands out :class:`Session` objects.  Each session owns
+everything mutable: its own :class:`~repro.target.cpu.Machine` (code
+segment, data memory, CPU), its own :class:`~repro.core.driver.Process`
+(Tier-1 memo, spec-time interpreter state), its own breaker board, and a
+per-session metrics registry that rolls up into the global one when the
+session closes.  N sessions on N threads therefore compile and execute
+concurrently without sharing any mutable state beyond the lock-striped
+template store and the lock-guarded global metrics — the property the
+differential test in ``tests/test_serving.py`` pins down bit-for-bit.
+
+Session creation itself is serialized under an engine lock:
+``Process.__init__`` writes deterministic global addresses onto the
+shared AST (idempotent, but not atomic), and static compilation is not
+re-entrant.  Everything after ``open_session`` returns is lock-free on
+the session's own thread.
+
+Every request runs inside a robustness envelope (see
+:mod:`repro.serving.envelope`): a modeled-cycle deadline, bounded
+retries with backoff for transient faults, and the circuit-breaker
+degradation ladder (:mod:`repro.serving.breaker`).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro import report
+from repro.core.driver import CompiledProgram, TccCompiler
+from repro.errors import DeadlineExceeded, RuntimeTccError, TccError
+from repro.serving.breaker import LADDER, BreakerBoard
+from repro.serving.chaos import ChaosPlan, from_env
+from repro.serving.envelope import DeadlineClock, Envelope, RetryPolicy
+from repro.serving.store import TemplateStore
+from repro.telemetry.metrics import REGISTRY, MetricsRegistry
+
+_UNSET = object()
+
+
+class RequestOutcome:
+    """What one :meth:`Session.request` produced.
+
+    ``value`` is the builder's return value (or the executed call's
+    result when call args were given); ``error`` is the terminal
+    :class:`~repro.errors.TccError` when the request failed — requests
+    never leak exceptions, a failing client must not take the session
+    (let alone the engine) down with it.  ``tier`` names the worst
+    ladder rung the request was served at, ``path`` the compile path of
+    the last compile() (``hit``/``patched``/``cold``/``degrade``/...),
+    ``cycles`` the modeled cycles charged against the deadline.
+    """
+
+    __slots__ = ("value", "entry", "error", "tier", "path", "retries",
+                 "cycles", "exec_engine", "chaos")
+
+    def __init__(self):
+        self.value = None
+        self.entry = None
+        self.error = None
+        self.tier = LADDER[0]
+        self.path = None
+        self.retries = 0
+        self.cycles = 0
+        self.exec_engine = None
+        self.chaos = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"error={type(self.error).__name__}"
+        return (f"<RequestOutcome {status} tier={self.tier} "
+                f"path={self.path} cycles={self.cycles}>")
+
+
+class Engine:
+    """The shared half of the serving system; a session factory."""
+
+    def __init__(self, source, *, share_templates: bool = True,
+                 templates_per_shape: int = 8, verify: str | None = None,
+                 chaos: ChaosPlan | None | object = _UNSET,
+                 **session_defaults):
+        """``source`` is `C source text or an already-compiled
+        :class:`CompiledProgram`.  ``session_defaults`` are
+        ``CompiledProgram.start`` options applied to every session
+        (overridable per ``open_session``).  ``chaos`` installs an
+        engine-wide injection schedule (defaults to ``$REPRO_CHAOS``)."""
+        if isinstance(source, CompiledProgram):
+            self.program = source
+        else:
+            self.program = TccCompiler(verify=verify).compile(source)
+        self.store = (TemplateStore(templates_per_shape=templates_per_shape)
+                      if share_templates else None)
+        self.session_defaults = dict(session_defaults)
+        if verify is not None:
+            self.session_defaults.setdefault("verify", verify)
+        self.chaos = from_env() if chaos is _UNSET else chaos
+        self._lock = threading.Lock()
+        self._session_seq = 0
+        self.sessions_open = 0
+        self.sessions_closed = 0
+
+    def open_session(self, name: str | None = None, *,
+                     deadline: int | None = None,
+                     retry: RetryPolicy | None = None,
+                     failure_threshold: int = 3, probe_after: int = 4,
+                     chaos: ChaosPlan | None | object = _UNSET,
+                     **overrides) -> "Session":
+        """Create one isolated client session (its own machine/process)."""
+        options = {**self.session_defaults, **overrides}
+        if self.store is not None:
+            options.setdefault("template_store", self.store)
+        with self._lock:
+            self._session_seq += 1
+            if name is None:
+                name = f"session-{self._session_seq}"
+            process = self.program.start(**options)
+            self.sessions_open += 1
+        return Session(
+            self, process, name,
+            deadline=deadline,
+            retry=retry if retry is not None else RetryPolicy(),
+            breakers=BreakerBoard(failure_threshold, probe_after),
+            chaos=self.chaos if chaos is _UNSET else chaos,
+        )
+
+    @contextmanager
+    def session(self, name: str | None = None, **kwargs):
+        """``with engine.session() as s:`` — open and always close."""
+        s = self.open_session(name, **kwargs)
+        try:
+            yield s
+        finally:
+            s.close()
+
+    def _note_closed(self) -> None:
+        with self._lock:
+            self.sessions_open -= 1
+            self.sessions_closed += 1
+
+    def stats(self) -> dict:
+        """Engine-level snapshot: sessions, shared store, global serving
+        counters (sessions still open have not rolled up yet)."""
+        out = {
+            "sessions_open": self.sessions_open,
+            "sessions_closed": self.sessions_closed,
+            "serving": report.serving_stats(),
+        }
+        if self.store is not None:
+            out["store"] = self.store.stats()
+        return out
+
+
+class Session:
+    """One client's isolated execution context, with the robustness
+    envelope around every request.  Created by :meth:`Engine.open_session`;
+    close (or use as a context manager) to roll per-session telemetry up
+    into the global registry and detach from the machine."""
+
+    def __init__(self, engine: Engine, process, name: str, *,
+                 deadline: int | None, retry: RetryPolicy,
+                 breakers: BreakerBoard, chaos: ChaosPlan | None):
+        self.engine = engine
+        self.process = process
+        self.name = name
+        self.deadline = deadline
+        self.retry = retry
+        self.breakers = breakers
+        self.chaos = chaos
+        self.metrics = MetricsRegistry()   # per-session view
+        self.requests_served = 0
+        self.closed = False
+        self._entry_keys: dict = {}        # entry -> breaker routing key
+
+    # -- the request API ---------------------------------------------------
+
+    def request(self, builder: str, builder_args=(), call_args=None,
+                fcall_args=(), returns: str = "i",
+                deadline: int | None | object = _UNSET,
+                name: str | None = None) -> RequestOutcome:
+        """Serve one request: run the spec-time ``builder`` (its
+        ``compile()`` calls go through the envelope), then — when
+        ``call_args`` is not None — execute the compiled function it
+        returned, all under one deadline.  Failures are captured in the
+        outcome, never raised: one client's crash must not unwind
+        another's serving loop.
+        """
+        if self.closed:
+            raise RuntimeTccError(f"session {self.name!r} is closed")
+        self.requests_served += 1
+        outcome = RequestOutcome()
+        budget = self.deadline if deadline is _UNSET else deadline
+        events = (self.chaos.events_for(self.requests_served)
+                  if self.chaos else ())
+        outcome.chaos = events
+        budget, undos = self._apply_chaos(events, budget)
+        envelope = Envelope(self.breakers, DeadlineClock(budget),
+                            self.retry, registry=self.metrics)
+        process = self.process
+        process.envelope = envelope
+        try:
+            entry = process.run(builder, *builder_args)
+            outcome.entry = entry
+            for addr, key in envelope.compiled:
+                self._entry_keys[addr] = key
+            if call_args is not None and isinstance(entry, int):
+                outcome.value = envelope.execute(
+                    process, entry, call_args, fcall_args, returns,
+                    name=name or builder, key=self._entry_keys.get(entry),
+                )
+            else:
+                outcome.value = entry
+        except TccError as exc:
+            outcome.error = exc
+            if isinstance(exc, DeadlineExceeded):
+                report.record_deadline_miss(self.metrics)
+        finally:
+            process.envelope = None
+            for undo in undos:
+                undo()
+        outcome.retries = envelope.retries
+        outcome.cycles = envelope.clock.spent
+        outcome.path = process._compile_path
+        outcome.exec_engine = envelope.exec_engine
+        outcome.tier = self._tier_of(envelope)
+        report.record_request("completed" if outcome.ok else "failed",
+                              self.metrics)
+        return outcome
+
+    def run(self, builder: str, *args, deadline: int | None | object = _UNSET):
+        """Enveloped spec-time run that *raises* on failure (the
+        ergonomic single-client API; serving loops want :meth:`request`)."""
+        outcome = self.request(builder, args, call_args=None,
+                               deadline=deadline)
+        if outcome.error is not None:
+            raise outcome.error
+        return outcome.value
+
+    def call(self, entry: int, args=(), fargs=(), returns: str = "i",
+             name: str | None = None,
+             deadline: int | None | object = _UNSET):
+        """Enveloped execution of an already-compiled entry; raises on
+        failure."""
+        if self.closed:
+            raise RuntimeTccError(f"session {self.name!r} is closed")
+        budget = self.deadline if deadline is _UNSET else deadline
+        envelope = Envelope(self.breakers, DeadlineClock(budget),
+                            self.retry, registry=self.metrics)
+        try:
+            return envelope.execute(self.process, entry, args, fargs,
+                                    returns, name=name,
+                                    key=self._entry_keys.get(entry))
+        except DeadlineExceeded:
+            report.record_deadline_miss(self.metrics)
+            raise
+
+    @staticmethod
+    def _tier_of(envelope: Envelope) -> str:
+        rung = max(envelope.compile_rungs, default=0)
+        if envelope.exec_engine == "reference":
+            rung = len(LADDER) - 1
+        return LADDER[rung]
+
+    # -- chaos application -------------------------------------------------
+
+    def _apply_chaos(self, events, budget):
+        """Inject the scheduled faults; return (possibly squeezed budget,
+        undo callables run when the request finishes)."""
+        undos = []
+        machine = self.process.machine
+        for kind in events:
+            self.metrics.labeled("chaos.injected").inc(kind)
+            if kind == "emit_fault":
+                machine.code.inject_emit_failure(1)
+            elif kind == "alloc_fault":
+                machine.memory.inject_alloc_failure(1)
+            elif kind == "exhaust":
+                undos.append(_clamp_capacity(machine.code))
+            elif kind == "poison":
+                self.process.codecache.tamper_first()
+            elif kind == "deadline":
+                budget = 1
+            elif kind == "trap":
+                previous = machine.fuel
+                machine.fuel = 1
+
+                def restore(machine=machine, previous=previous):
+                    machine.fuel = previous
+
+                undos.append(restore)
+        return budget, undos
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Roll the per-session telemetry up into the global registry and
+        detach the session's caches from its machine.  Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        self.process.machine.code.remove_invalidation_listener(
+            self.process.codecache.on_segment_event)
+        REGISTRY.merge(self.metrics)
+        self.engine._note_closed()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (f"<Session {self.name} {state} "
+                f"requests={self.requests_served}>")
+
+
+def _clamp_capacity(segment):
+    """Chaos 'exhaust': clamp the code segment to its current size; the
+    first rollback (a failed install being released) restores the old
+    capacity — modeling an eviction freeing room — so the envelope's
+    retry succeeds.  Returns the end-of-request undo."""
+    previous = segment.limit_capacity(len(segment.instructions))
+
+    def on_event(kind, length):
+        segment.capacity = max(segment.capacity, previous)
+        segment.remove_invalidation_listener(on_event)
+
+    segment.add_invalidation_listener(on_event)
+
+    def undo():
+        segment.capacity = max(segment.capacity, previous)
+        segment.remove_invalidation_listener(on_event)
+
+    return undo

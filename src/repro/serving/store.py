@@ -1,0 +1,116 @@
+"""The engine-shared Tier-2 template store.
+
+Tier-1 memo entries are absolute addresses in one machine's code segment,
+so they can never leave their session.  Tier-2 :class:`~repro.core
+.codecache.CodeTemplate` objects are the opposite: post-link instruction
+*copies* with positional hole/relocation records, referencing no session
+state at all.  A :class:`TemplateStore` exploits that — one store per
+:class:`~repro.serving.engine.Engine` lets every session clone templates
+any *other* session paid the cold-compile price for (cross-session warm
+starts), while each session still installs the clone into its own
+segment.
+
+Concurrency: the store is lock-striped.  Shape keys hash onto
+:data:`STRIPES` independent buckets, each with its own lock, so sessions
+compiling unrelated closures never contend.  ``match`` returns the
+template object itself (immutable by convention; tampering is what the
+integrity checksum catches), so no copy is taken under the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.telemetry.metrics import REGISTRY
+
+#: Number of independent lock stripes.
+STRIPES = 16
+
+_POISONED = REGISTRY.counter("cache.poisoned_evictions")
+_SHARED_HITS = REGISTRY.counter("store.shared_matches")
+
+
+class TemplateStore:
+    """A thread-safe, lock-striped map ``shape_key -> [CodeTemplate]``."""
+
+    def __init__(self, templates_per_shape: int = 8, stripes: int = STRIPES):
+        if stripes < 1:
+            raise ValueError("stripes must be >= 1")
+        self.templates_per_shape = templates_per_shape
+        self._stripes = tuple(
+            (threading.RLock(), {}) for _ in range(stripes)
+        )
+
+    def _stripe(self, shape_key):
+        lock, shapes = self._stripes[hash(shape_key) % len(self._stripes)]
+        return lock, shapes
+
+    def add(self, shape_key, template) -> None:
+        lock, shapes = self._stripe(shape_key)
+        with lock:
+            bucket = shapes.setdefault(shape_key, [])
+            bucket.append(template)
+            if len(bucket) > self.templates_per_shape:
+                bucket.pop(0)
+
+    def match(self, signature, memory):
+        """The store-side half of ``CodeCache.match_template``: same-shape
+        template, matching non-hole values, guards holding in *this*
+        session's memory, and an intact integrity checksum.  A template
+        failing the checksum is evicted (cache poisoning) and counted."""
+        lock, shapes = self._stripe(signature.shape_key)
+        from repro.core.codecache import _guards_hold
+
+        with lock:
+            bucket = shapes.get(signature.shape_key, ())
+            for template in list(bucket):
+                if not template.matches(signature):
+                    continue
+                if not template.verify_integrity():
+                    bucket.remove(template)
+                    _POISONED.inc()
+                    continue
+                if _guards_hold(template.guards, memory):
+                    _SHARED_HITS.inc()
+                    return template
+        return None
+
+    def evict(self, shape_key, template) -> None:
+        lock, shapes = self._stripe(shape_key)
+        with lock:
+            bucket = shapes.get(shape_key)
+            if bucket and template in bucket:
+                bucket.remove(template)
+
+    def tamper_first(self) -> bool:
+        """Chaos hook: corrupt one operand of one stored template in
+        place (simulated cache poisoning).  Returns True when a template
+        was found to tamper with."""
+        for lock, shapes in self._stripes:
+            with lock:
+                for bucket in shapes.values():
+                    for template in bucket:
+                        if template.instructions:
+                            instr = template.instructions[0]
+                            instr.a = (instr.a + 1 if isinstance(instr.a, int)
+                                       else 1)
+                            return True
+        return False
+
+    def clear(self) -> None:
+        for lock, shapes in self._stripes:
+            with lock:
+                shapes.clear()
+
+    def stats(self) -> dict:
+        shapes = templates = 0
+        for lock, stripe_shapes in self._stripes:
+            with lock:
+                shapes += len(stripe_shapes)
+                templates += sum(len(b) for b in stripe_shapes.values())
+        return {"shapes": shapes, "templates": templates}
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"<TemplateStore {s['templates']} templates / "
+                f"{s['shapes']} shapes>")

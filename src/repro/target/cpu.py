@@ -295,14 +295,24 @@ class Machine:
     # -- running ----------------------------------------------------------------
 
     def call(self, entry: int, args=(), fargs=(), returns: str = "i",
-             fuel: int | None = None, name: str | None = None):
+             fuel: int | None = None, name: str | None = None,
+             engine: str | None = None):
         """Call the function at ``entry`` with the standard convention.
 
         ``args`` fill ``a0``.., ``fargs`` fill ``f1``..; the result is
         read from ``rv`` (``returns="i"``), ``f0`` (``"f"``), or ignored
         (``"v"``).  ``fuel`` overrides the machine's watchdog budget for
-        this call; ``name`` labels the call frame in trap reports.
+        this call; ``name`` labels the call frame in trap reports;
+        ``engine`` overrides the machine's execution engine for this call
+        only (``"reference"`` pins the per-instruction oracle stepper —
+        the serving ladder's most conservative rung, used when compiled
+        superblocks are no longer trusted).
         """
+        if engine is not None and engine not in ENGINES:
+            raise MachineError(
+                f"unknown execution engine {engine!r} "
+                f"(choose from {', '.join(ENGINES)})"
+            )
         code = self.code.instructions
         if not isinstance(entry, int) or not 0 <= entry < len(code):
             raise SegmentationFault(
@@ -333,22 +343,34 @@ class Machine:
             span = tracer.begin(f"exec:{label}", cat="exec", entry=entry)
             before = cpu.cycles
             try:
-                self._run(entry, budget, name)
+                self._run(entry, budget, name, engine)
             except MachineError as trap:
                 tracer.end(span, advance=cpu.cycles - before,
                            trap=type(trap).__name__)
                 raise
             tracer.end(span, advance=cpu.cycles - before)
         else:
-            self._run(entry, budget, name)
+            self._run(entry, budget, name, engine)
         if returns == "f":
             return cpu.fregs[FReg.F0]
         if returns in ("v", None):
             return None
         return wrap32(cpu.regs[Reg.RV])
 
-    def _run(self, entry: int, budget: int | None, name: str | None) -> None:
+    def distrust_block_cache(self) -> None:
+        """Drop every compiled superblock (no-op on the reference engine).
+
+        The serving ladder calls this when it degrades a session to the
+        reference rung: if predecoded blocks are suspected stale or
+        poisoned, the next block-engine run recompiles from the code
+        segment, and the current request executes on the oracle stepper.
+        """
         if self._engine is not None:
+            self._engine.clear()
+
+    def _run(self, entry: int, budget: int | None, name: str | None,
+             engine: str | None = None) -> None:
+        if self._engine is not None and engine != "reference":
             self._engine.run(entry, budget, name)
         else:
             self._run_reference(entry, budget, name)

@@ -491,6 +491,18 @@ class BlockEngine:
 
     # -- cache maintenance -------------------------------------------------------
 
+    def clear(self) -> None:
+        """Drop every compiled block (they recompile lazily on demand).
+
+        Public entry point for callers that stop trusting predecoded
+        state without a segment event — e.g. the serving ladder's
+        degrade-to-reference rung after suspected block poisoning."""
+        dropped = len(self._blocks)
+        self._blocks.clear()
+        self._block_end.clear()
+        if dropped:
+            report.record_block_invalidation(dropped)
+
     def on_segment_event(self, kind: str, length) -> None:
         """Code-segment invalidation: drop exactly the blocks that can no
         longer be trusted."""

@@ -29,6 +29,7 @@ sentinel and stops the machine cleanly.
 from __future__ import annotations
 
 import bisect
+import threading
 
 from repro.errors import CodeSegmentExhausted, LinkError
 from repro.target.isa import Instruction, Op
@@ -70,8 +71,11 @@ class CodeSegment:
         # install map: parallel sorted lists of (entry, name) for traps
         self._fn_entries: list = [0]
         self._fn_names: list = ["<halt>"]
-        # observers notified when installed code stops being trustworthy
-        self._invalidation_listeners: list = []
+        # observers notified when installed code stops being trustworthy;
+        # a copy-on-write tuple so notification never iterates a list
+        # another thread is mutating (registration is rare, events hot)
+        self._invalidation_listeners: tuple = ()
+        self._listener_lock = threading.Lock()
 
     @property
     def here(self) -> int:
@@ -112,6 +116,16 @@ class CodeSegment:
         self._fail_emit_in = nth
         self._notify_invalidation("fault", None)
 
+    def limit_capacity(self, capacity: int) -> int:
+        """Clamp the segment's capacity (chaos injection: simulated
+        segment exhaustion); returns the previous capacity so the caller
+        can restore it after 'eviction' frees room again."""
+        if capacity < len(self.instructions):
+            capacity = len(self.instructions)
+        previous = self.capacity
+        self.capacity = capacity
+        return previous
+
     # -- invalidation listeners --------------------------------------------------
 
     def add_invalidation_listener(self, fn) -> None:
@@ -120,7 +134,16 @@ class CodeSegment:
         :meth:`release` truncation, ``("fault", None)`` when a fault is
         injected.  Used by the specialization cache and by the
         block-dispatch engine's superblock cache."""
-        self._invalidation_listeners.append(fn)
+        with self._listener_lock:
+            self._invalidation_listeners += (fn,)
+
+    def remove_invalidation_listener(self, fn) -> None:
+        """Unregister a listener (no-op when it was never registered):
+        lets a closing serving session detach its caches."""
+        with self._listener_lock:
+            self._invalidation_listeners = tuple(
+                f for f in self._invalidation_listeners if f is not fn
+            )
 
     def _notify_invalidation(self, kind: str, length) -> None:
         (_ROLLBACKS if kind == "rollback" else _FAULTS).inc()

@@ -30,12 +30,27 @@ Metric types
 This module is intentionally a leaf: it imports nothing from the rest of
 the package, so every layer (target machine, back ends, verifier, driver,
 report) can feed it without cycles.
+
+Thread safety: every mutation and snapshot goes through one module lock
+(:data:`_LOCK`).  Plain ``value += n`` is not atomic in Python (the
+read-modify-write interleaves at bytecode granularity), so concurrent
+serving sessions hammering the shared :data:`REGISTRY` would drop
+increments without it.  The lock is uncontended in single-threaded use
+and all call sites are per-compile / per-run granularity, so the cost is
+noise.  Per-session registries (see :mod:`repro.serving`) use
+:meth:`MetricsRegistry.merge` to roll up into the global one on close.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from collections import deque
+
+#: One lock for every metric mutation/snapshot in the process.  Metric
+#: operations are tiny, so sharing one lock beats per-object locks on
+#: memory and is immune to lock-ordering bugs in ``merge``.
+_LOCK = threading.RLock()
 
 #: Retained-event cap for bounded event logs.  The total stays exact;
 #: only the per-event detail beyond the cap is dropped (oldest first).
@@ -49,8 +64,10 @@ CYCLE_BOUNDS = (100, 300, 1_000, 3_000, 10_000, 30_000,
 INSTRUCTION_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
 
 #: The compile() outcome classes whose latency distributions we keep
-#: apart: a Tier-1 memo hit, a Tier-2 template patch, and a cold build.
-COMPILE_PATHS = ("hit", "patched", "cold", "fallback")
+#: apart: a Tier-1 memo hit, a Tier-2 template patch, a cold build, the
+#: legacy ICODE->VCODE fallback, and a compile served at a degraded rung
+#: of the serving ladder (see :mod:`repro.serving.breaker`).
+COMPILE_PATHS = ("hit", "patched", "cold", "fallback", "degrade")
 
 
 class Counter:
@@ -63,10 +80,16 @@ class Counter:
         self.value = 0
 
     def inc(self, n=1) -> None:
-        self.value += n
+        with _LOCK:
+            self.value += n
 
     def reset(self) -> None:
-        self.value = 0
+        with _LOCK:
+            self.value = 0
+
+    def merge(self, other: "Counter") -> None:
+        with _LOCK:
+            self.value += other.value
 
     def snapshot(self):
         return self.value
@@ -85,10 +108,16 @@ class Gauge:
         self.value = 0
 
     def set(self, value) -> None:
-        self.value = value
+        with _LOCK:
+            self.value = value
 
     def reset(self) -> None:
-        self.value = 0
+        with _LOCK:
+            self.value = 0
+
+    def merge(self, other: "Gauge") -> None:
+        with _LOCK:
+            self.value = other.value
 
     def snapshot(self):
         return self.value
@@ -113,16 +142,24 @@ class LabeledCounter:
         self.values = {label: 0 for label in self.preset}
 
     def inc(self, label: str, n=1) -> None:
-        self.values[label] = self.values.get(label, 0) + n
+        with _LOCK:
+            self.values[label] = self.values.get(label, 0) + n
 
     def get(self, label: str):
         return self.values.get(label, 0)
 
     def reset(self) -> None:
-        self.values = {label: 0 for label in self.preset}
+        with _LOCK:
+            self.values = {label: 0 for label in self.preset}
+
+    def merge(self, other: "LabeledCounter") -> None:
+        with _LOCK:
+            for label, n in other.values.items():
+                self.values[label] = self.values.get(label, 0) + n
 
     def snapshot(self) -> dict:
-        return dict(self.values)
+        with _LOCK:
+            return dict(self.values)
 
     def __repr__(self) -> str:
         return f"<LabeledCounter {self.name} {self.values}>"
@@ -146,31 +183,73 @@ class Histogram:
         self.max = None
 
     def record(self, value) -> None:
-        self.buckets[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with _LOCK:
+            self.buckets[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float):
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Returns the upper bound of the bucket containing the quantile
+        rank (the overflow bucket reports the recorded max), or None when
+        the histogram is empty.  Coarse by construction — exact enough
+        for p50/p99 reporting against fixed bounds.
+        """
+        with _LOCK:
+            if not self.count:
+                return None
+            rank = q * self.count
+            seen = 0
+            for i, n in enumerate(self.buckets):
+                seen += n
+                if seen >= rank:
+                    if i < len(self.bounds):
+                        return self.bounds[i]
+                    return self.max
+            return self.max
+
     def reset(self) -> None:
-        self.buckets = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.total = 0
-        self.min = None
-        self.max = None
+        with _LOCK:
+            self.buckets = [0] * (len(self.bounds) + 1)
+            self.count = 0
+            self.total = 0
+            self.min = None
+            self.max = None
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r}: bounds differ"
+            )
+        with _LOCK:
+            for i, n in enumerate(other.buckets):
+                self.buckets[i] += n
+            self.count += other.count
+            self.total += other.total
+            for v in (other.min, other.max):
+                if v is None:
+                    continue
+                if self.min is None or v < self.min:
+                    self.min = v
+                if self.max is None or v > self.max:
+                    self.max = v
 
     def snapshot(self) -> dict:
-        return {
-            "count": self.count, "sum": self.total,
-            "min": self.min, "max": self.max,
-            "bounds": list(self.bounds), "buckets": list(self.buckets),
-        }
+        with _LOCK:
+            return {
+                "count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max,
+                "bounds": list(self.bounds), "buckets": list(self.buckets),
+            }
 
     def __repr__(self) -> str:
         return f"<Histogram {self.name} n={self.count} sum={self.total}>"
@@ -190,8 +269,9 @@ class EventLog:
         self._events = deque(maxlen=capacity)
 
     def append(self, event) -> None:
-        self.total += 1
-        self._events.append(event)
+        with _LOCK:
+            self.total += 1
+            self._events.append(event)
 
     @property
     def dropped(self) -> int:
@@ -208,12 +288,19 @@ class EventLog:
         return list(self._events)[index]
 
     def reset(self) -> None:
-        self.total = 0
-        self._events.clear()
+        with _LOCK:
+            self.total = 0
+            self._events.clear()
+
+    def merge(self, other: "EventLog") -> None:
+        with _LOCK:
+            self.total += other.total
+            self._events.extend(other._events)
 
     def snapshot(self) -> dict:
-        return {"total": self.total, "dropped": self.dropped,
-                "recent": list(self._events)}
+        with _LOCK:
+            return {"total": self.total, "dropped": self.dropped,
+                    "recent": list(self._events)}
 
     def __repr__(self) -> str:
         return f"<EventLog {self.name} {len(self._events)}/{self.total}>"
@@ -230,9 +317,12 @@ class MetricsRegistry:
     def _get(self, name: str, factory, kind):
         metric = self._metrics.get(name)
         if metric is None:
-            metric = factory()
-            self._metrics[name] = metric
-        elif not isinstance(metric, kind):
+            with _LOCK:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = factory()
+                    self._metrics[name] = metric
+        if not isinstance(metric, kind):
             raise TypeError(
                 f"metric {name!r} is a {type(metric).__name__}, "
                 f"not a {kind.__name__}"
@@ -264,13 +354,44 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """{name: plain-python value} for every registered metric."""
-        return {name: metric.snapshot()
-                for name, metric in sorted(self._metrics.items())}
+        with _LOCK:
+            items = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in sorted(items)}
 
     def reset(self) -> None:
         """Zero every metric in place (objects keep their identity)."""
-        for metric in self._metrics.values():
+        with _LOCK:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
             metric.reset()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold every metric of ``other`` into this registry in place.
+
+        Used by serving sessions to roll their per-session view up into
+        the process-wide registry on close: counters add, gauges take the
+        session's last value, histograms add bucket-wise (same bounds
+        required), event logs concatenate.  Metric objects here keep
+        their identity, so modules that cached them at import time see
+        the merged values.
+        """
+        with _LOCK:
+            items = list(other._metrics.items())
+        for name, metric in items:
+            mine = self._get(name, lambda m=metric: _blank_like(m),
+                             type(metric))
+            mine.merge(metric)
+
+
+def _blank_like(metric):
+    """A zeroed metric with the same name and configuration."""
+    if isinstance(metric, LabeledCounter):
+        return LabeledCounter(metric.name, metric.preset)
+    if isinstance(metric, Histogram):
+        return Histogram(metric.name, metric.bounds)
+    if isinstance(metric, EventLog):
+        return EventLog(metric.name, metric.capacity)
+    return type(metric)(metric.name)
 
 
 #: The process-wide registry every subsystem feeds.

@@ -39,6 +39,7 @@ always recorded regardless of mode.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
@@ -271,21 +272,34 @@ NULL = _NullTracer()
 
 #: The activation stack: lets deep call sites (the verifier runner, the
 #: dispatch engine) reach the tracer of whichever process is currently
-#: compiling without threading it through every signature.  Execution is
-#: single-threaded, so a plain list suffices.
-_ACTIVE: list = []
+#: compiling without threading it through every signature.  Thread-local:
+#: each serving session activates its own tracer on its own thread, so a
+#: shared stack would interleave unrelated sessions' spans (and the
+#: pop-on-exit would corrupt another thread's stack).
+_TLS = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    return stack
 
 
 @contextmanager
 def activate(tracer):
-    """Make ``tracer`` the ambient tracer for the dynamic extent."""
-    _ACTIVE.append(tracer if tracer is not None else NULL)
+    """Make ``tracer`` the ambient tracer for the dynamic extent (on the
+    calling thread)."""
+    stack = _stack()
+    stack.append(tracer if tracer is not None else NULL)
     try:
         yield tracer
     finally:
-        _ACTIVE.pop()
+        stack.pop()
 
 
 def active():
-    """The ambient tracer (:data:`NULL` when nothing is tracing)."""
-    return _ACTIVE[-1] if _ACTIVE else NULL
+    """The calling thread's ambient tracer (:data:`NULL` when nothing is
+    tracing)."""
+    stack = getattr(_TLS, "stack", None)
+    return stack[-1] if stack else NULL

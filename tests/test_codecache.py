@@ -11,8 +11,11 @@ from repro.core.codecache import (
     PatchImm,
     _guards_hold,
 )
+from repro.errors import VerifyError
 from repro.runtime.costmodel import Phase
+from repro.serving.store import TemplateStore
 from repro.target.memory import Memory
+from repro.telemetry.metrics import REGISTRY
 from tests.conftest import BACKENDS, compile_c
 
 ADDER = """
@@ -290,3 +293,89 @@ class TestSignature:
         d = ClosureSignature(("s",), (0.0,), {})
         assert a.key != b.key
         assert c.key != d.key
+
+
+class TestTransactionalClone:
+    """Tier-2 clone installation is audit-then-publish: nothing a fault
+    interrupts mid-clone may ever become callable."""
+
+    def test_emit_fault_mid_clone_rolls_back_and_recovers(self):
+        # Store-backed, so arming the fault (which conservatively drops
+        # the session-local cache) leaves the shared template alive and
+        # the clone path is actually taken.
+        store = TemplateStore()
+        proc = compile_c(ADDER, template_store=store)
+        proc.run("build", 10)                       # cold: donates a template
+        assert store.stats()["templates"] == 1
+        before = len(proc.machine.code.instructions)
+        proc.machine.code.inject_emit_failure(3)    # fires mid-clone
+        entry = proc.run("build", 42)
+        # The half-emitted clone was rolled back and the request
+        # recovered with a cold compile of correct code.
+        assert proc.function(entry, "i", "i")(1) == 43
+        assert len(proc.machine.code.instructions) > before
+        assert proc.machine.code._fail_emit_in is None  # fault consumed
+
+    def test_unexpected_crash_mid_clone_rolls_back(self, monkeypatch):
+        report.reset()
+        proc = compile_c(ADDER)
+        proc.run("build", 10)
+        seg = proc.machine.code
+        before = len(seg.instructions)
+
+        def crash(self, template, signature, machine, cost):
+            machine.code.emit(template.instructions[0])   # partial body...
+            raise RuntimeError("boom mid-clone")
+
+        monkeypatch.setattr(CodeCache, "instantiate_template", crash)
+        with pytest.raises(RuntimeError, match="boom mid-clone"):
+            proc.run("build", 42)
+        # The partial instruction is gone; nothing was published.
+        assert len(seg.instructions) == before
+        monkeypatch.undo()
+        entry = proc.run("build", 42)
+        assert proc.function(entry, "i", "i")(1) == 43
+
+    def test_truncated_clone_is_caught_even_with_verify_off(self, monkeypatch):
+        # The template audit is the publish gate: it runs regardless of
+        # the verify mode, so a short clone can never go live.
+        proc = compile_c(ADDER, verify="off")
+        proc.run("build", 10)
+        seg = proc.machine.code
+
+        def short(self, template, signature, machine, cost):
+            entry = machine.code.here
+            for src in template.instructions[:len(template.instructions) // 2]:
+                machine.code.emit(src)
+            return entry
+
+        monkeypatch.setattr(CodeCache, "instantiate_template", short)
+        before = len(seg.instructions)
+        with pytest.raises(VerifyError):
+            proc.run("build", 42)
+        assert len(seg.instructions) == before      # unpublished
+
+    def test_poisoned_template_is_evicted_and_recompiled(self):
+        report.reset()
+        proc = compile_c(ADDER)
+        proc.run("build", 10)
+        assert proc.codecache.tamper_first()
+        poisoned_before = REGISTRY.counter("cache.poisoned_evictions").value
+        entry = proc.run("build", 42)
+        # The checksum caught the tampered body before any clone: the
+        # template was evicted and the request recompiled cold.
+        assert proc.function(entry, "i", "i")(1) == 43
+        poisoned = REGISTRY.counter("cache.poisoned_evictions").value
+        assert poisoned == poisoned_before + 1
+        assert proc.codecache.stats()["templates"] == 1  # fresh replacement
+
+    def test_poisoned_shared_template_is_evicted(self):
+        store = TemplateStore()
+        proc = compile_c(ADDER, template_store=store)
+        proc.run("build", 10)
+        assert store.tamper_first()
+        poisoned_before = REGISTRY.counter("cache.poisoned_evictions").value
+        entry = proc.run("build", 42)
+        assert proc.function(entry, "i", "i")(1) == 43
+        poisoned = REGISTRY.counter("cache.poisoned_evictions").value
+        assert poisoned == poisoned_before + 1
