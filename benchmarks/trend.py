@@ -1,0 +1,88 @@
+"""Benchmark-trend collector: fold every ``BENCH_*.json`` artifact into
+one ``BENCH_summary.json`` and gate on the tiering regression rule.
+
+Run from the repository root (CI's ``bench-trend`` step does)::
+
+    python benchmarks/trend.py
+
+The summary records, per benchmark file, its description and every
+numeric headline it carries, so one artifact tracks the whole perf
+surface across commits.  The gate: ``BENCH_tiering.json`` must not show
+the tiered engine *slower* than the block engine on any Figure-4 app —
+speedups below :data:`FLOOR` (a small allowance for shared-runner
+timing noise; the real bar of >= 1.3x on >= 3 apps is asserted by the
+benchmark itself) fail the build with exit code 1.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SUMMARY_PATH = ROOT / "BENCH_summary.json"
+
+#: Minimum tiered-vs-block speedup tolerated per Figure-4 app before the
+#: trend gate calls it a regression (0.95 absorbs host timing jitter).
+FLOOR = 0.95
+
+
+def collect() -> dict:
+    """Read every BENCH_*.json in the repo root into one mapping."""
+    summary: dict = {}
+    for path in sorted(ROOT.glob("BENCH_*.json")):
+        if path.name == SUMMARY_PATH.name:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            summary[path.stem] = {"error": f"unreadable: {exc}"}
+            continue
+        summary[path.stem] = payload
+    return summary
+
+
+def tiering_regressions(summary: dict) -> list:
+    """Figure-4 apps where the tiered engine fell below the floor."""
+    tiering = summary.get("BENCH_tiering")
+    if not isinstance(tiering, dict):
+        return []
+    slow = []
+    for app, row in sorted(tiering.get("figure4", {}).items()):
+        speedup = row.get("speedup")
+        if isinstance(speedup, (int, float)) and speedup < FLOOR:
+            slow.append((app, speedup))
+    return slow
+
+
+def main() -> int:
+    summary = collect()
+    if not summary:
+        print("trend: no BENCH_*.json artifacts found; run benchmarks/ first")
+        return 1
+    slow = tiering_regressions(summary)
+    summary["_trend"] = {
+        "benchmarks_collected": sorted(summary),
+        "tiering_floor": FLOOR,
+        "tiering_regressions": [
+            {"app": app, "speedup": speedup} for app, speedup in slow
+        ],
+    }
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True))
+    print(f"trend: collected {len(summary) - 1} benchmark files "
+          f"into {SUMMARY_PATH.name}")
+    if slow:
+        for app, speedup in slow:
+            print(f"trend: REGRESSION {app}: tiered is {speedup}x vs block "
+                  f"(floor {FLOOR})")
+        return 1
+    if "BENCH_tiering" in summary:
+        fig4 = summary["BENCH_tiering"].get("figure4", {})
+        print(f"trend: tiered >= {FLOOR}x block on all "
+              f"{len(fig4)} Figure-4 apps")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,6 +77,7 @@ class MeasureResult:
         self.expected = None
         self.correct = False
         self.tracer = None             # set when measured with telemetry on
+        self.hot_profile = None        # hot_units() rows under tiered engine
 
     @property
     def speedup(self) -> float:

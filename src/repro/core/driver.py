@@ -177,6 +177,13 @@ class CompiledProgram:
                           (default True; see repro.core.codecache)
         ``code_templates``  the cache's Tier-2 copy-and-patch fast path
                           (default True; ignored when ``codecache`` is off)
+        ``retier``        adaptive VCODE->ICODE re-instantiation when a
+                          closure's cumulative exec cycles cross the
+                          Fig. 5 recompile crossover (default True; needs
+                          ``codecache`` and exec telemetry — the serving
+                          envelope feeds it via ``note_exec_cycles``)
+        ``retier_cost_ratio``  exec-cycles / compile-cycles multiple that
+                          trips the retier (default 8.0)
         ``spec_fuel``     spec-time interpreter step budget per ``run()``
                           (None = unlimited)
         ``verify``        static-analysis mode: "off", "dev" (allocation
@@ -196,14 +203,20 @@ class CompiledProgram:
         ``fuel``          watchdog cycle budget per call (None = unlimited)
         ``icache``        an :class:`~repro.target.cpu.ICache` model
         ``code_capacity`` code-segment capacity, in instructions
-        ``engine``        "block" (predecoded superblock dispatch, the
-                          default) or "reference" (the per-instruction
-                          oracle stepper)
+        ``engine``        "tiered" (profile-guided trace promotion over
+                          superblock dispatch, the default), "block"
+                          (predecoded superblock dispatch only), or
+                          "reference" (the per-instruction oracle stepper)
+        ``tiering``       a :class:`repro.tiering.TieringPolicy` (or a
+                          dict of its knobs) for the tiered engine
+        ``tiering_shared``  a :class:`repro.tiering.SharedHotness` to
+                          seed/publish the cross-session dispatch profile
         """
         if machine is None:
             machine_options = {
                 key: options[key]
-                for key in ("fuel", "icache", "code_capacity", "engine")
+                for key in ("fuel", "icache", "code_capacity", "engine",
+                            "tiering", "tiering_shared")
                 if key in options
             }
             machine = Machine(**machine_options)
@@ -257,13 +270,22 @@ class Process:
         self.pending_args: list = []  # push()/apply() construction state
         self.last_codegen_stats = None
         self.compile_count = 0
-        self._compile_path = None        # "hit"/"patched"/"cold"/"fallback"
+        self._compile_path = None        # a COMPILE_PATHS value, see metrics
         self._compile_signature = None
         # The serving layer (repro.serving) sets ``envelope`` per request:
         # when present it drives compile() through the degradation ladder
         # (deadline + retries + circuit breakers) instead of the plain
         # single-attempt path below.
         self.envelope = None
+        # Adaptive retier (the paper's Fig. 5 crossover made dynamic):
+        # per-entry cumulative exec cycles, fed by the serving envelope
+        # via note_exec_cycles(); when a VCODE-compiled closure's
+        # execution time crosses retier_cost_ratio x its compile cost,
+        # its signature is re-instantiated as ICODE on the next request.
+        self._exec_cycles: dict = {}       # entry -> cumulative exec cycles
+        self._entry_code_info: dict = {}   # entry -> (sig key, cold, backend)
+        self._retier_to_icode: set = set()  # signature keys due for ICODE
+        self._last_cold_cycles = None      # stashed by the cache paths
         self.codecache = CodeCache(
             enabled=options.get("codecache", True),
             templates_enabled=options.get("code_templates", True),
@@ -509,6 +531,7 @@ class Process:
         ladder owns backend demotion there).  Defaults reproduce the
         classic single-attempt behavior exactly."""
         effective = backend_kind or self.backend_kind
+        retiered = False
         try:
             # Bind dynamic parameters created via param().
             params = sorted(self.current_params, key=lambda v: v.index)
@@ -519,14 +542,28 @@ class Process:
                     f"{indices}"
                 )
             signature = None
+            self._last_cold_cycles = None
             if self.codecache.enabled:
                 signature = signature_of(
                     closure, params,
                     self._cache_config_key(ret_type, effective))
+                if (backend_kind is None
+                        and effective is BackendKind.VCODE
+                        and signature.key in self._retier_to_icode):
+                    # The Fig. 5 crossover fired for this closure: its
+                    # cumulative exec time has outgrown the cheap VCODE
+                    # build, so re-instantiate with the optimizing back
+                    # end (and the matching cache signature) instead.
+                    effective = BackendKind.ICODE
+                    retiered = True
+                    signature = signature_of(
+                        closure, params,
+                        self._cache_config_key(ret_type, effective))
                 self._compile_signature = signature
                 entry = self._try_cached(signature,
                                          use_templates=use_templates)
                 if entry is not None:
+                    self._note_code_info(entry, signature, effective)
                     return self._note_compiled(entry, closure)
                 report.record_cache_miss()
             recorder = (PatchRecorder(signature)
@@ -560,6 +597,11 @@ class Process:
                     signature, recorder, entry, self.machine.code.here,
                     self.last_codegen_stats.total_cycles(),
                 )
+            self._last_cold_cycles = self.last_codegen_stats.total_cycles()
+            self._note_code_info(entry, signature, effective)
+            if retiered and self._compile_path is None:
+                self._compile_path = "retier"
+                report.record_retier()
             return self._note_compiled(entry, closure)
         finally:
             # Always reset param() state, even when instantiation raised:
@@ -624,6 +666,45 @@ class Process:
         )
         return entry
 
+    def _note_code_info(self, entry, signature, effective) -> None:
+        """Remember which signature/back end/compile cost produced the
+        code at ``entry``, so exec-cycle telemetry can be attributed for
+        the adaptive retier decision."""
+        if signature is None:
+            return
+        cold = self._last_cold_cycles
+        if cold is None:
+            return
+        self._entry_code_info[entry] = (
+            signature.key, max(int(cold), 1), effective.value)
+
+    def note_exec_cycles(self, entry, cycles) -> None:
+        """Feed one execution's modeled cycles into the adaptive-retier
+        accounting (the serving envelope calls this after every
+        successful request).
+
+        The paper's Fig. 5 frames VCODE-vs-ICODE as a crossover: the
+        optimizing back end costs more to compile but its output runs
+        faster, so it pays off only past enough executions.  Here the
+        decision is made adaptively at run time: once a VCODE-compiled
+        entry's *cumulative* exec cycles exceed ``retier_cost_ratio``
+        (default 8.0) times its compile cost, its closure signature is
+        marked and the next ``compile()`` of that closure re-instantiates
+        it with ICODE (recorded as the "retier" compile path).
+        """
+        if not self.options.get("retier", True) or not self.codecache.enabled:
+            return
+        info = self._entry_code_info.get(entry)
+        if info is None or info[2] != BackendKind.VCODE.value:
+            return
+        total = self._exec_cycles.get(entry, 0) + max(int(cycles), 0)
+        self._exec_cycles[entry] = total
+        if info[0] in self._retier_to_icode:
+            return
+        ratio = float(self.options.get("retier_cost_ratio", 8.0))
+        if total >= info[1] * ratio:
+            self._retier_to_icode.add(info[0])
+
     def _try_cached(self, signature, use_templates=True):
         """Probe both cache tiers; return an entry address or None.
 
@@ -646,6 +727,7 @@ class Process:
                 hit.cold_cycles - self.last_codegen_stats.total_cycles()
             )
             self._compile_path = "hit"
+            self._last_cold_cycles = hit.cold_cycles
             return hit.entry
         if not use_templates:
             return None
@@ -689,6 +771,7 @@ class Process:
             template.cold_cycles - self.last_codegen_stats.total_cycles(),
         )
         self._compile_path = "patched"
+        self._last_cold_cycles = template.cold_cycles
         return entry
 
     def _instantiate(self, backend, closure, ret_type, params,

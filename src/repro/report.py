@@ -10,6 +10,7 @@ Usage::
     python -m repro.report blur       # section 6.2 xv Blur case study
     python -m repro.report usedops    # section 5.2 pruned-emitter sizes
     python -m repro.report telemetry  # traced blur compile+run summary
+    python -m repro.report hot        # hottest traces/superblocks (tiered)
     python -m repro.report all
 
 Numbers are deterministic (simulated machine + modeled codegen cycles).
@@ -193,6 +194,75 @@ def reset_dispatch_stats() -> None:
     for counter in _DISPATCH.values():
         counter.reset()
     _FUSED_BY_KIND.reset()
+
+
+# -- tiered engine ------------------------------------------------------------
+
+_TIERING_KEYS = ("promotions", "trace_blocks", "trace_instructions",
+                 "trace_dispatches", "deopts", "traces_invalidated",
+                 "retier_promotions")
+_TIERING = {key: _REGISTRY.counter(f"tiering.{key}")
+            for key in _TIERING_KEYS}
+_TIERING_FUSED = _REGISTRY.labeled("tiering.fused_by_kind")
+_TRACE_LENGTH = _REGISTRY.histogram("tiering.trace_length",
+                                    _metrics.INSTRUCTION_BOUNDS)
+
+#: Tiered-engine counters, fed by :class:`repro.tiering.TieredEngine`
+#: and the driver's adaptive-retier pass: traces promoted (with the
+#: superblocks and instructions they cover, plus a trace-length
+#: histogram and cross-seam fusion counts), trace-granular dispatches,
+#: deopts (poisoned traces evicted back to the block tier), traces
+#: dropped by invalidation/demotion, and VCODE->ICODE re-instantiations
+#: triggered by the Fig. 5 crossover.
+TIERING_STATS = _StatsView({
+    **{key: (lambda c=_TIERING[key]: c.value) for key in _TIERING_KEYS},
+    "fused_by_kind": _TIERING_FUSED.snapshot,
+    "trace_length": lambda: _TRACE_LENGTH.snapshot(),
+})
+
+
+def record_promotion(n_blocks: int, n_instructions: int, fused: dict) -> None:
+    """Record one superblock->trace promotion."""
+    _TIERING["promotions"].inc()
+    _TIERING["trace_blocks"].inc(int(n_blocks))
+    _TIERING["trace_instructions"].inc(int(n_instructions))
+    _TRACE_LENGTH.record(int(n_instructions))
+    for kind, count in fused.items():
+        _TIERING_FUSED.inc(kind, count)
+
+
+def record_trace_dispatches(dispatches: int) -> None:
+    """Record one engine run's trace-granular dispatch count."""
+    _TIERING["trace_dispatches"].inc(int(dispatches))
+
+
+def record_deopt() -> None:
+    """Record one trace deopt (poisoned trace evicted mid-flight)."""
+    _TIERING["deopts"].inc()
+
+
+def record_trace_invalidation(dropped: int) -> None:
+    """Record traces evicted by segment events or cache demotion."""
+    _TIERING["traces_invalidated"].inc(int(dropped))
+
+
+def record_retier() -> None:
+    """Record one adaptive VCODE->ICODE re-instantiation."""
+    _TIERING["retier_promotions"].inc()
+
+
+def tiering_stats() -> dict:
+    out = {key: _TIERING[key].value for key in _TIERING_KEYS}
+    out["fused_by_kind"] = _TIERING_FUSED.snapshot()
+    out["trace_length"] = _TRACE_LENGTH.snapshot()
+    return out
+
+
+def reset_tiering_stats() -> None:
+    for counter in _TIERING.values():
+        counter.reset()
+    _TIERING_FUSED.reset()
+    _TRACE_LENGTH.reset()
 
 
 # -- verifier suite -----------------------------------------------------------
@@ -488,6 +558,37 @@ def report_telemetry() -> str:
     return "\n".join(lines)
 
 
+def report_hot(top: int = 10) -> str:
+    from repro.apps import ALL_APPS
+    from repro.apps.harness import measure
+
+    result = measure(ALL_APPS["blur"], backend="icode", engine="tiered")
+    rows = result.hot_profile or []
+    lines = [
+        "Hottest execution units (tiered engine, one blur run): traces",
+        "formed by profile-guided promotion plus remaining superblocks,",
+        "ranked by dispatch count and cumulative modeled cycles",
+        "",
+        f"{'rank':>4s} {'pc':>6s} {'kind':6s} {'dispatches':>10s} "
+        f"{'blocks':>6s} {'instrs':>6s} {'cycles':>12s}",
+    ]
+    for rank, row in enumerate(rows[:top], start=1):
+        lines.append(
+            f"{rank:4d} {row['pc']:6d} {row['kind']:6s} "
+            f"{row['dispatches']:10d} {row['blocks']:6d} "
+            f"{row['instructions']:6d} {row['cycles']:12d}"
+        )
+    if not rows:
+        lines.append("(no units dispatched)")
+    stats = tiering_stats()
+    lines.append("")
+    lines.append(
+        f"promotions {stats['promotions']}, trace dispatches "
+        f"{stats['trace_dispatches']}, deopts {stats['deopts']}"
+    )
+    return "\n".join(lines)
+
+
 REPORTS = {
     "table1": report_table1,
     "fig4": report_fig4,
@@ -497,6 +598,7 @@ REPORTS = {
     "blur": report_blur,
     "usedops": report_usedops,
     "telemetry": report_telemetry,
+    "hot": report_hot,
 }
 
 
@@ -524,6 +626,8 @@ def main(argv=None) -> int:
         print(report_usedops())
         print()
         print(report_telemetry())
+        print()
+        print(report_hot())
         return 0
     print(REPORTS[argv[0]]())
     return 0

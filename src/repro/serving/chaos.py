@@ -31,6 +31,11 @@ Fault classes (:data:`KINDS`):
     execution trips ``CycleBudgetExceeded``, feeding the exec-side
     breaker (a "trap storm" opens it and pins the signature to the
     reference stepper).
+``poison_trace``
+    one formed trace in the tiered engine is replaced with a poisoned
+    stub; its next dispatch deopts back to the superblock path, which
+    must produce bit-identical results (a no-op under other engines or
+    before any trace has formed).
 
 ``$REPRO_CHAOS`` syntax: comma-separated ``kind:N`` pairs, firing
 ``kind`` on every Nth request (e.g. ``emit_fault:3,poison:7``); the bare
@@ -43,7 +48,7 @@ import os
 
 #: Every fault class the chaos matrix can inject.
 KINDS = ("emit_fault", "exhaust", "alloc_fault", "poison", "deadline",
-         "trap")
+         "trap", "poison_trace")
 
 
 class ChaosPlan:

@@ -38,6 +38,7 @@ from repro.serving.chaos import ChaosPlan, from_env
 from repro.serving.envelope import DeadlineClock, Envelope, RetryPolicy
 from repro.serving.store import TemplateStore
 from repro.telemetry.metrics import REGISTRY, MetricsRegistry
+from repro.tiering import SharedHotness
 
 _UNSET = object()
 
@@ -101,6 +102,7 @@ class Engine:
         if verify is not None:
             self.session_defaults.setdefault("verify", verify)
         self.chaos = from_env() if chaos is _UNSET else chaos
+        self.hotness = SharedHotness()
         self._lock = threading.Lock()
         self._session_seq = 0
         self.sessions_open = 0
@@ -116,6 +118,9 @@ class Engine:
         options = {**self.session_defaults, **overrides}
         if self.store is not None:
             options.setdefault("template_store", self.store)
+        # New sessions start with the fleet's pooled hotness profile so
+        # warmed entry points promote to traces on their first dispatch.
+        options.setdefault("tiering_shared", self.hotness)
         with self._lock:
             self._session_seq += 1
             if name is None:
@@ -284,6 +289,10 @@ class Session:
                 undos.append(_clamp_capacity(machine.code))
             elif kind == "poison":
                 self.process.codecache.tamper_first()
+            elif kind == "poison_trace":
+                engine = getattr(machine, "_engine", None)
+                if engine is not None and hasattr(engine, "poison_trace"):
+                    engine.poison_trace()
             elif kind == "deadline":
                 budget = 1
             elif kind == "trap":
@@ -304,6 +313,9 @@ class Session:
         if self.closed:
             return
         self.closed = True
+        engine = getattr(self.process.machine, "_engine", None)
+        if engine is not None and hasattr(engine, "publish_profile"):
+            engine.publish_profile()
         self.process.machine.code.remove_invalidation_listener(
             self.process.codecache.on_segment_event)
         REGISTRY.merge(self.metrics)

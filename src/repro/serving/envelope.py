@@ -117,7 +117,7 @@ class Envelope:
         self.retries = 0
         self.compile_rungs: list = []   # final rung of each compile()
         self.compiled: list = []        # (entry, routing_key) per compile()
-        self.exec_engine = None         # "block" / "reference"
+        self.exec_engine = None         # "tiered" / "block" / "reference"
         self._last_error = None
 
     # -- compilation -------------------------------------------------------
@@ -221,7 +221,7 @@ class Envelope:
             machine.distrust_block_cache()
             engine = "reference"
             report.record_degraded("reference", self.registry)
-        self.exec_engine = engine or "block"
+        self.exec_engine = engine or machine.engine
         remaining = self.clock.remaining()
         fuel = machine.fuel
         if remaining is not None:
@@ -245,9 +245,13 @@ class Envelope:
                 ) from trap
             self.clock.charge(spent)
             raise
-        self.clock.charge(machine.cpu.cycles - before)
+        spent = machine.cpu.cycles - before
+        self.clock.charge(spent)
         if trusted and breaker is not None:
             breaker.record_success()
+        # Exec telemetry feeds the driver's adaptive VCODE->ICODE retier
+        # (the Fig. 5 crossover, decided at run time from real cycles).
+        process.note_exec_cycles(entry, spent)
         return value
 
 

@@ -1,13 +1,19 @@
 """The CPU interpreter, the I-cache model, and the Machine facade.
 
-Two execution engines share this machine model:
+Three execution engines share this machine model:
 
-* ``engine="block"`` (the default) — the block-dispatch engine in
+* ``engine="tiered"`` (the default) — the profile-guided engine in
+  :mod:`repro.tiering`: the block engine below plus a hotness-driven
+  trace tier that links hot superblocks across observed branches into
+  widened straight-line units (knobs via the ``tiering=`` policy, and
+  ``tiering_shared=`` for cross-session profile warm-up).
+* ``engine="block"`` — the block-dispatch engine in
   :mod:`repro.target.dispatch`: code is predecoded into superblocks and
   compiled to closed-over Python functions, with fuel checked at block
   boundaries.  Modeled cycles, final machine state, and the trap
   taxonomy are identical to the reference by construction (the
-  differential suite in ``tests/test_engines.py`` enforces it).
+  differential suite in ``tests/test_engines.py`` enforces it; the
+  same contract binds the tiered engine).
 * ``engine="reference"`` — the per-instruction stepper below, kept as
   the plainly-auditable oracle for differential testing.
 
@@ -70,7 +76,7 @@ from repro.target.program import DEFAULT_CODE_CAPACITY, CodeSegment
 DEFAULT_FUEL = 100_000_000
 
 #: Execution engine names accepted by :class:`Machine`.
-ENGINES = ("block", "reference")
+ENGINES = ("tiered", "block", "reference")
 
 
 # -- instruction semantics ----------------------------------------------------------
@@ -199,8 +205,9 @@ class Machine:
                  fuel: int | None = DEFAULT_FUEL,
                  icache: ICache | None = None,
                  code_capacity: int = DEFAULT_CODE_CAPACITY,
-                 engine: str = "block",
-                 telemetry: str | None = None):
+                 engine: str = "tiered",
+                 telemetry: str | None = None,
+                 tiering=None, tiering_shared=None):
         if engine not in ENGINES:
             raise MachineError(
                 f"unknown execution engine {engine!r} "
@@ -224,7 +231,13 @@ class Machine:
         self._host_functions: list = []
         self._host_index: dict = {}
         self._register_default_hostcalls()
-        if engine == "block":
+        if engine == "tiered":
+            from repro.tiering import TieredEngine
+
+            self._engine = TieredEngine(self, policy=tiering,
+                                        shared=tiering_shared)
+            self.code.add_invalidation_listener(self._engine.on_segment_event)
+        elif engine == "block":
             from repro.target.dispatch import BlockEngine
 
             self._engine = BlockEngine(self)
@@ -358,7 +371,9 @@ class Machine:
         return wrap32(cpu.regs[Reg.RV])
 
     def distrust_block_cache(self) -> None:
-        """Drop every compiled superblock (no-op on the reference engine).
+        """Drop every compiled superblock — and, on the tiered engine,
+        every formed trace plus the hotness profile behind them (no-op
+        on the reference engine).
 
         The serving ladder calls this when it degrades a session to the
         reference rung: if predecoded blocks are suspected stale or

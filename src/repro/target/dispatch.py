@@ -121,12 +121,32 @@ _FLT_CMP_EXPR = {Op.FSEQ: "==", Op.FSNE: "!=", Op.FSLT: "<",
 #: Names the generated ``__make__`` factory closes over, in order.
 _ENV_NAMES = ("cpu", "regs", "fregs", "wrap32", "lw", "sw", "lb", "lbu",
               "sb", "fld", "fst", "sdiv", "smod", "udiv", "umod", "fdiv",
-              "hostfn", "ill", "ic", "TAIL", "MachineError")
+              "hostfn", "ill", "ic", "TAIL", "MachineError",
+              "data", "ifb", "heap4", "heap1", "stackb", "top4", "top1")
 
 
 def _illegal(op):
     name = getattr(op, "name", op)
     raise IllegalInstruction(f"cannot execute opcode {name}")
+
+
+def carve_block(code, entry: int, cap: int) -> list:
+    """Carve the superblock starting at ``entry``: the straight-line run
+    up to and including the first terminator, stopping early at ``cap``
+    (the linked horizon / end of code) or :data:`MAX_BLOCK_INSTRUCTIONS`.
+
+    Shared by the per-block compiler below and the trace former in
+    :mod:`repro.tiering`, so both agree exactly on block boundaries.
+    """
+    instrs = []
+    p = entry
+    while p < cap and len(instrs) < MAX_BLOCK_INSTRUCTIONS:
+        ins = code[p]
+        instrs.append(ins)
+        p += 1
+        if ins.op in TERMINATOR_OPS:
+            break
+    return instrs
 
 
 def _is_zero(v) -> bool:
@@ -187,11 +207,14 @@ class _Gen:
     """Accumulates the Python source of one superblock."""
 
     def __init__(self, entry: int, use_cy: bool, has_site: bool,
-                 icache_on: bool = False):
+                 icache_on: bool = False, inline_wrap: bool = False,
+                 inline_mem: bool = False):
         self.entry = entry
         self.use_cy = use_cy
         self.has_site = has_site
         self.icache_on = icache_on
+        self.inline_wrap = inline_wrap
+        self.inline_mem = inline_mem
         self.lines: list = []
         self.pend = 0                 # batched, not-yet-emitted cycle cost
         self.consts: dict = {}        # K<n> -> non-literal operand value
@@ -243,6 +266,16 @@ class _Gen:
             return sub[int(r)]
         return f"regs[{self.ridx(r)}]"
 
+    def wrap(self, expr: str) -> str:
+        """Signed-32-bit wrap of ``expr``.  The block tier calls the
+        ``wrap32`` helper; the trace tier (``inline_wrap``) spends its
+        extra compile budget inlining the two's-complement arithmetic,
+        saving a Python call per ALU result on the hottest paths.  Both
+        forms compute the identical value for any int."""
+        if self.inline_wrap:
+            return f"(({expr} + 0x80000000 & 0xFFFFFFFF) - 0x80000000)"
+        return f"wrap32({expr})"
+
     def int_expr(self, ins, sub=None) -> str:
         """RHS for a non-trapping int ALU op (register or imm form)."""
         base = IMM_TO_BASE.get(ins.op, ins.op)
@@ -251,11 +284,54 @@ class _Gen:
         y = self.imm(ins.c) if ins.op in IMM_TO_BASE \
             else self.src_reg(ins.c, sub)
         expr = tmpl.format(x=x, y=y)
-        return f"wrap32{expr}" if wrap else expr
+        return self.wrap(expr) if wrap else expr
 
     def addr_expr(self, base_expr: str, offset) -> str:
         off = self.imm(offset)
         return base_expr if off == "0" else f"{base_expr} + {off}"
+
+
+def _emit_mem_inline(g: _Gen, op, ins, addr: str) -> None:
+    """Trace-tier lowering of the common memory ops: the accessor's
+    in-bounds fast path is inlined against region bounds bound as
+    closure cells, with the helper call itself as the slow-path
+    fallback.  The inline predicate is the same strict subset
+    :class:`~repro.target.memory.Memory` uses, so results and the
+    trap taxonomy are unchanged — only the Python call per in-bounds
+    access disappears."""
+    reg = f"regs[{g.ridx(ins.a)}]"
+    g.line(f"a_ = {addr}")
+    if op is Op.LW or op is Op.SW:
+        g.line("if not a_ & 3 and (4096 <= a_ <= heap4 "
+               "or stackb <= a_ <= top4):")
+        if op is Op.LW:
+            g.line(f"{reg} = ifb(data[a_:a_ + 4], 'little', signed=True)",
+                   indent=1)
+            g.line("else:")
+            g.line(f"{reg} = lw(a_)", indent=1)
+        else:
+            g.line(f"data[a_:a_ + 4] = ({reg} & 0xFFFFFFFF)"
+                   ".to_bytes(4, 'little')", indent=1)
+            g.line("else:")
+            g.line(f"sw(a_, {reg})", indent=1)
+        return
+    g.line("if 4096 <= a_ < heap1 or stackb <= a_ < top1:")
+    if op is Op.LB:
+        g.line("v_ = data[a_]", indent=1)
+        g.line(f"{reg} = v_ - 256 if v_ >= 128 else v_", indent=1)
+        g.line("else:")
+        g.line(f"{reg} = lb(a_)", indent=1)
+    elif op is Op.LBU:
+        g.line(f"{reg} = data[a_]", indent=1)
+        g.line("else:")
+        g.line(f"{reg} = lbu(a_)", indent=1)
+    else:                                # SB
+        g.line(f"data[a_] = {reg} & 0xFF", indent=1)
+        g.line("else:")
+        g.line(f"sb(a_, {reg})", indent=1)
+
+
+_INLINE_MEM_OPS = (Op.LW, Op.SW, Op.LB, Op.LBU, Op.SB)
 
 
 def _emit_mem(g: _Gen, P: int, ins, base_expr: str, extra_cost: int = 0):
@@ -264,6 +340,13 @@ def _emit_mem(g: _Gen, P: int, ins, base_expr: str, extra_cost: int = 0):
     op = ins.op
     g.site(P, CYCLE_COST[op] + extra_cost)
     addr = g.addr_expr(base_expr, ins.c)
+    is_load = op in (Op.LW, Op.LB, Op.LBU)
+    if (g.inline_mem and op in _INLINE_MEM_OPS
+            and not (is_load and _is_zero(ins.a))):
+        # A ZERO-destination load keeps the helper call: it executes
+        # only for its possible trap, never for its value.
+        _emit_mem_inline(g, op, ins, addr)
+        return
     if op is Op.SW:
         g.line(f"sw({addr}, regs[{g.ridx(ins.a)}])")
     elif op is Op.SB:
@@ -370,7 +453,7 @@ def _emit_one(g: _Gen, P: int, ins) -> None:
             if isinstance(b, int):
                 g.line(f"regs[{g.ridx(a)}] = {g.imm(wrap32(int(b)))}")
             else:
-                g.line(f"regs[{g.ridx(a)}] = wrap32({g.const(b)})")
+                g.line(f"regs[{g.ridx(a)}] = {g.wrap(g.const(b))}")
     elif op is Op.MOV:
         g.pend += cost
         if not _is_zero(a):
@@ -378,11 +461,11 @@ def _emit_one(g: _Gen, P: int, ins) -> None:
     elif op is Op.NEG:
         g.pend += cost
         if not _is_zero(a):
-            g.line(f"regs[{g.ridx(a)}] = wrap32(-regs[{g.ridx(b)}])")
+            g.line(f"regs[{g.ridx(a)}] = {g.wrap(f'-regs[{g.ridx(b)}]')}")
     elif op is Op.NOT:
         g.pend += cost
         if not _is_zero(a):
-            g.line(f"regs[{g.ridx(a)}] = wrap32(~regs[{g.ridx(b)}])")
+            g.line(f"regs[{g.ridx(a)}] = {g.wrap(f'~regs[{g.ridx(b)}]')}")
     elif op in _MEM_OPS:
         _emit_mem(g, P, ins, f"regs[{g.ridx(b)}]")
     elif op is Op.FLI:
@@ -403,7 +486,8 @@ def _emit_one(g: _Gen, P: int, ins) -> None:
     elif op is Op.CVTFI:
         g.pend += cost
         if not _is_zero(a):
-            g.line(f"regs[{g.ridx(a)}] = wrap32(int(fregs[{g.ridx(b)}]))")
+            g.line(f"regs[{g.ridx(a)}] = "
+                   f"{g.wrap(f'int(fregs[{g.ridx(b)}])')}")
     elif op is Op.NOP:
         g.pend += cost
     elif IMM_TO_BASE.get(op, op) in _DIV_BASES:
@@ -414,7 +498,7 @@ def _emit_one(g: _Gen, P: int, ins) -> None:
             g.site(P, cost)
             x = g.src_reg(b)
             y = g.imm(c) if op in IMM_TO_BASE else g.src_reg(c)
-            g.line(f"regs[{g.ridx(a)}] = wrap32({fn}({x}, {y}))")
+            g.line(f"regs[{g.ridx(a)}] = {g.wrap(f'{fn}({x}, {y})')}")
     elif IMM_TO_BASE.get(op, op) in _INT_EXPR:
         g.pend += cost
         if not _is_zero(a):
@@ -435,9 +519,12 @@ def _emit_one(g: _Gen, P: int, ins) -> None:
         g.line(f"ill({g.const(op)})")
 
 
-def _emit_fused(g: _Gen, P: int, ins, nxt, kind: str) -> None:
+def _emit_fused(g: _Gen, P: int, Pn: int, ins, nxt, kind: str) -> None:
     """Translate a fused pair (fusion runs only with the I-cache off, so
-    fetch-order bookkeeping cannot be disturbed)."""
+    fetch-order bookkeeping cannot be disturbed).  ``P``/``Pn`` are the
+    pcs of ``ins``/``nxt``: adjacent (``Pn == P + 1``) inside one block,
+    but the trace compiler also fuses across elided-jump seams, where the
+    pair is not pc-adjacent."""
     cost = CYCLE_COST[ins.op]
     ncost = CYCLE_COST[nxt.op]
     A = int(ins.a)
@@ -451,12 +538,12 @@ def _emit_fused(g: _Gen, P: int, ins, nxt, kind: str) -> None:
         g.line(f"return {g.imm(nxt.b)}", indent=1)
         g.charge(0)
         g.pend = 0
-        g.line(f"return {P + 2}")
+        g.line(f"return {Pn + 1}")
         g.closed = True
     elif kind == "addr_mem":
-        g.line(f"t = wrap32(regs[{g.ridx(ins.b)}] + {g.imm(ins.c)})")
+        g.line(f"t = {g.wrap(f'regs[{g.ridx(ins.b)}] + {g.imm(ins.c)}')}")
         g.line(f"regs[{A}] = t")
-        _emit_mem(g, P + 1, nxt, "t", extra_cost=cost)
+        _emit_mem(g, Pn, nxt, "t", extra_cost=cost)
     elif kind == "li_op":
         lit = wrap32(int(ins.b))
         g.pend += cost + ncost
@@ -466,7 +553,16 @@ def _emit_fused(g: _Gen, P: int, ins, nxt, kind: str) -> None:
     else:                                # load_op
         g.site(P, cost)
         addr = g.addr_expr(f"regs[{g.ridx(ins.b)}]", ins.c)
-        g.line(f"t = lw({addr})")
+        if g.inline_mem:
+            g.line(f"a_ = {addr}")
+            g.line("if not a_ & 3 and (4096 <= a_ <= heap4 "
+                   "or stackb <= a_ <= top4):")
+            g.line("t = ifb(data[a_:a_ + 4], 'little', signed=True)",
+                   indent=1)
+            g.line("else:")
+            g.line("t = lw(a_)", indent=1)
+        else:
+            g.line(f"t = lw({addr})")
         g.line(f"regs[{A}] = t")
         g.pend += ncost
         g.line(f"regs[{int(nxt.a)}] = {g.int_expr(nxt, {A: 't'})}")
@@ -535,6 +631,14 @@ class BlockEngine:
             "ic": icache.access if icache is not None else None,
             "TAIL": self._tail,
             "MachineError": MachineError,
+            # Closure cells for the trace tier's inlined memory fast
+            # path (``inline_mem``).  The region bounds are fixed at
+            # Memory construction, exactly like the bound accessor
+            # methods above.
+            "data": memory._data, "ifb": int.from_bytes,
+            "heap4": memory.heap_limit - 4, "heap1": memory.heap_limit,
+            "stackb": memory.stack_base,
+            "top4": memory.size - 4, "top1": memory.size,
         }
 
     # -- block compilation -------------------------------------------------------
@@ -551,14 +655,7 @@ class BlockEngine:
         # from the operands as they stand, uncached.
         cap = min(len(code), horizon) if cacheable else len(code)
 
-        instrs = []
-        p = entry
-        while p < cap and len(instrs) < MAX_BLOCK_INSTRUCTIONS:
-            ins = code[p]
-            instrs.append(ins)
-            p += 1
-            if ins.op in TERMINATOR_OPS:
-                break
+        instrs = carve_block(code, entry, cap)
 
         icache = self.machine.icache
         has_site = any(_charge_site(ins) for ins in instrs)
@@ -575,7 +672,7 @@ class BlockEngine:
             nxt = instrs[i + 1] if i + 1 < len(instrs) else None
             kind = _fusion_kind(instrs[i], nxt) if fuse_ok else None
             if kind is not None:
-                _emit_fused(g, P, instrs[i], nxt, kind)
+                _emit_fused(g, P, P + 1, instrs[i], nxt, kind)
                 fused[kind] = fused.get(kind, 0) + 1
                 i += 2
             else:

@@ -65,9 +65,11 @@ INSTRUCTION_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
 
 #: The compile() outcome classes whose latency distributions we keep
 #: apart: a Tier-1 memo hit, a Tier-2 template patch, a cold build, the
-#: legacy ICODE->VCODE fallback, and a compile served at a degraded rung
-#: of the serving ladder (see :mod:`repro.serving.breaker`).
-COMPILE_PATHS = ("hit", "patched", "cold", "fallback", "degrade")
+#: legacy ICODE->VCODE fallback, a compile served at a degraded rung
+#: of the serving ladder (see :mod:`repro.serving.breaker`), and an
+#: adaptive VCODE->ICODE re-instantiation (see "retier" in
+#: :mod:`repro.core.driver`).
+COMPILE_PATHS = ("hit", "patched", "cold", "fallback", "degrade", "retier")
 
 
 class Counter:
@@ -197,16 +199,26 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float):
-        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
 
         Returns the upper bound of the bucket containing the quantile
         rank (the overflow bucket reports the recorded max), or None when
-        the histogram is empty.  Coarse by construction — exact enough
+        the histogram is empty.  The edges are exact rather than bucket
+        estimates: ``q=0`` is the recorded min, ``q=1`` the recorded max,
+        and a single-sample histogram reports that sample (its min) for
+        every quantile.  Values of ``q`` outside ``[0, 1]`` raise
+        ``ValueError``.  Coarse by construction otherwise — exact enough
         for p50/p99 reporting against fixed bounds.
         """
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
         with _LOCK:
             if not self.count:
                 return None
+            if q == 0 or self.count == 1:
+                return self.min
+            if q == 1:
+                return self.max
             rank = q * self.count
             seen = 0
             for i, n in enumerate(self.buckets):

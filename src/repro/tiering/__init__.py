@@ -1,0 +1,36 @@
+"""Profile-guided tiering: trace formation and adaptive promotion.
+
+The block-dispatch engine (PR 3) already counts how often every
+superblock is dispatched; this package acts on those counters.  When a
+block crosses a hotness threshold, the :class:`TieredEngine` links the
+hot superblocks along their observed taken branches into one widened
+straight-line **trace**, re-runs superinstruction fusion over the
+widened window, and hoists the per-block watchdog probe and block-cache
+lookup out of the interior — paying them once per trace entry instead of
+once per block.  Modeled cycles, machine state, and the trap taxonomy
+stay bit-identical to the reference stepper (``tests/test_engines.py``
+proves it differentially, including mid-run promotions and deopts).
+
+Layout:
+
+``policy``
+    :class:`TieringPolicy` — the promotion knobs (hotness threshold,
+    trace size caps).
+``trace``
+    trace formation from the dispatch profile and trace code generation
+    (reusing the block engine's generator and fusion rules).
+``engine``
+    :class:`TieredEngine` — the profiling dispatch loop, the trace
+    cache, promotion, and deopt.
+``hotness``
+    :class:`SharedHotness` — the thread-safe cross-session profile the
+    serving engine uses so one session's hot loops warm another's traces.
+"""
+
+from repro.tiering.engine import TieredEngine
+from repro.tiering.hotness import SharedHotness
+from repro.tiering.policy import TieringPolicy
+from repro.tiering.trace import TraceForm, form_trace
+
+__all__ = ["TieredEngine", "SharedHotness", "TieringPolicy", "TraceForm",
+           "form_trace"]

@@ -1,12 +1,15 @@
-"""Differential tests: the block-dispatch engine vs the reference stepper.
+"""Differential tests: the compiled engines vs the reference stepper.
 
-The block engine (the default) must be observably identical to the
-reference interpreter: same results, same registers, same memory image,
-same modeled cycle counts, and the same trap taxonomy.  The one licensed
-divergence is *bounded watchdog overshoot*: a cycle-budget trap may be
-raised at a block boundary rather than mid-block, so its pc/cycles may
-sit up to one block past the reference's trap point — but whether a run
-traps at all must match the reference exactly.
+The block engine and the tiered engine (the default) must be observably
+identical to the reference interpreter: same results, same registers,
+same memory image, same modeled cycle counts, and the same trap
+taxonomy.  The one licensed divergence is *bounded watchdog overshoot*:
+a cycle-budget trap may be raised at a block (or trace) boundary rather
+than mid-block, so its pc/cycles may sit up to one block — or one trace
+— past the reference's trap point; but whether a run traps at all must
+match the reference exactly.  The tiered differentials run with
+``hot_threshold=2`` so promotions (and the traces they install) happen
+mid-run, under the same programs the reference executes.
 """
 
 from __future__ import annotations
@@ -30,7 +33,13 @@ from tests.conftest import compile_c
 from tests.test_program_properties import programs
 
 
-def _run_both(instrs, args=(), fuel=100_000, hosts=(), icache=False):
+#: A hair-trigger promotion policy so even short differential programs
+#: exercise trace formation mid-run.
+HOT2 = {"hot_threshold": 2}
+
+
+def _run_both(instrs, args=(), fuel=100_000, hosts=(), icache=False,
+              tiering=HOT2):
     """Assemble the same program into one machine per engine and run it.
 
     Returns ``{engine: outcome}`` where a successful outcome is
@@ -40,7 +49,8 @@ def _run_both(instrs, args=(), fuel=100_000, hosts=(), icache=False):
     out = {}
     for engine in ENGINES:
         machine = Machine(fuel=fuel, engine=engine,
-                          icache=ICache() if icache else None)
+                          icache=ICache() if icache else None,
+                          tiering=tiering)
         for name, fn in hosts:
             machine.register_host_function(name, fn)
         entry = machine.code.extend(list(instrs))
@@ -55,14 +65,18 @@ def _run_both(instrs, args=(), fuel=100_000, hosts=(), icache=False):
 
 
 def _assert_same_trap(outcomes, expected_type):
-    block, ref = outcomes["block"], outcomes["reference"]
-    assert block[0] == ref[0] == "trap", outcomes
-    assert block[1] == ref[1] == expected_type.__name__
-    b_trap, r_trap = block[2], ref[2]
-    assert str(b_trap) == str(r_trap)
-    assert b_trap.pc == r_trap.pc
-    assert b_trap.instr == r_trap.instr
-    assert block[3] == ref[3]          # cycles charged up to the trap
+    ref = outcomes["reference"]
+    assert ref[0] == "trap", outcomes
+    assert ref[1] == expected_type.__name__
+    for engine in ("block", "tiered"):
+        got = outcomes[engine]
+        assert got[0] == "trap", (engine, outcomes)
+        assert got[1] == expected_type.__name__
+        e_trap, r_trap = got[2], ref[2]
+        assert str(e_trap) == str(r_trap), engine
+        assert e_trap.pc == r_trap.pc, engine
+        assert e_trap.instr == r_trap.instr, engine
+        assert got[3] == ref[3], engine    # cycles charged up to the trap
 
 
 # -- whole generated programs ---------------------------------------------------
@@ -89,13 +103,14 @@ def test_generated_programs_agree(body, a, b, c):
     states = {}
     for engine in ENGINES:
         proc = compile_c(src, backend="icode", compile_static=False,
-                         engine=engine)
+                         engine=engine, tiering=HOT2)
         entry = proc.run("build")
         rv = proc.function(entry, "iii", "i")(a, b, c)
         cpu = proc.machine.cpu
         states[engine] = (rv, list(cpu.regs), list(cpu.fregs), cpu.cycles,
                          bytes(proc.machine.memory._data))
     assert states["block"] == states["reference"], body
+    assert states["tiered"] == states["reference"], body
 
 
 @pytest.mark.parametrize("backend", ["vcode", "icode"])
@@ -115,10 +130,11 @@ def test_loop_program_agrees_per_backend(backend):
     results = {}
     for engine in ENGINES:
         proc = compile_c(src, backend=backend, compile_static=False,
-                         engine=engine)
+                         engine=engine, tiering=HOT2)
         fn = proc.function(proc.run("build"), "i", "i")
         results[engine] = (fn(10), proc.machine.cpu.cycles)
     assert results["block"] == results["reference"]
+    assert results["tiered"] == results["reference"]
     assert results["block"][0] == 385
 
 
@@ -144,6 +160,7 @@ def test_division_by_zero_into_zero_register_is_discarded():
         Instruction(Op.RET),
     ])
     assert outcomes["block"] == outcomes["reference"]
+    assert outcomes["tiered"] == outcomes["reference"]
     assert outcomes["block"][:2] == ("ok", 7)
 
 
@@ -197,12 +214,14 @@ def test_watchdog_taxonomy_matches_reference_exactly():
 
     for fuel in range(exact - 3, exact + 2):
         outcomes = _run_both(_countdown(6), fuel=fuel)
-        block, reference = outcomes["block"], outcomes["reference"]
-        assert block[0] == reference[0], (fuel, exact, outcomes)
-        if reference[0] == "trap":
-            assert block[1] == reference[1] == "CycleBudgetExceeded"
-        else:
-            assert block == reference   # success: cycles equal too
+        reference = outcomes["reference"]
+        for engine in ("block", "tiered"):
+            got = outcomes[engine]
+            assert got[0] == reference[0], (engine, fuel, exact, outcomes)
+            if reference[0] == "trap":
+                assert got[1] == reference[1] == "CycleBudgetExceeded"
+            else:
+                assert got == reference   # success: cycles equal too
 
 
 def test_watchdog_overshoot_is_bounded():
@@ -217,11 +236,32 @@ def test_watchdog_overshoot_is_bounded():
     assert machine.cpu.cycles <= bound
 
 
+def test_tiered_watchdog_overshoot_is_bounded():
+    """The tiered engine checks fuel once per *trace* return, so the
+    licensed overshoot grows to one maximal trace (each instruction may
+    additionally carry a +1 taken-branch charge riding pend)."""
+    from repro.tiering import TieringPolicy
+
+    policy = TieringPolicy()
+    machine = Machine(fuel=500, engine="tiered",
+                      tiering={"hot_threshold": 2})
+    entry = machine.code.extend(_countdown(1_000_000))
+    machine.code.link()
+    with pytest.raises(CycleBudgetExceeded, match="budget"):
+        machine.call(entry)
+    bound = 500 + policy.max_trace_instructions * \
+        (max(CYCLE_COST.values()) + 1)
+    assert machine.cpu.cycles <= bound
+
+
 # -- icache ---------------------------------------------------------------------
 
 def test_icache_cycles_identical_across_engines():
+    # Tiering disarms itself under an icache (promotion would change the
+    # fetch pattern); the tiered engine must degrade to plain blocks.
     outcomes = _run_both(_countdown(40), icache=True)
     assert outcomes["block"] == outcomes["reference"]
+    assert outcomes["tiered"] == outcomes["reference"]
 
 
 def test_attaching_icache_mid_machine_rebuilds_blocks():
@@ -238,6 +278,7 @@ def test_attaching_icache_mid_machine_rebuilds_blocks():
         machine.call(entry)
         results[engine] = (cold, machine.cpu.cycles)
     assert results["block"] == results["reference"]
+    assert results["tiered"] == results["reference"]
 
 
 # -- host calls -----------------------------------------------------------------
@@ -339,7 +380,73 @@ def test_tier2_patched_code_composes_with_cached_blocks():
 
 
 def test_engine_knob_is_validated():
+    from repro.tiering import TieredEngine
+
     with pytest.raises(MachineError, match="unknown execution engine"):
         Machine(engine="turbo")
     assert Machine(engine="reference")._engine is None
-    assert Machine().engine == "block"
+    assert Machine().engine == "tiered"
+    assert isinstance(Machine()._engine, TieredEngine)
+
+
+# -- trace-cache invalidation ---------------------------------------------------
+
+def test_rollback_invalidates_traces_with_blocks():
+    """A segment rollback must drop traces formed over the rolled-back
+    region; re-extended code at the same addresses reruns correctly."""
+    report.reset()
+    machine = Machine(engine="tiered", tiering=HOT2)
+    e1 = machine.code.extend(_countdown(30))
+    machine.code.link()
+    machine.call(e1)
+    assert report.tiering_stats()["promotions"] >= 1
+
+    machine.code.mark()
+    e2 = machine.code.extend(_countdown(5))
+    machine.code.link()
+    machine.call(e2)
+    machine.code.release()
+
+    e3 = machine.code.extend([Instruction(Op.LI, Reg.RV, 3),
+                              Instruction(Op.RET)])
+    machine.code.link()
+    assert e3 == e2
+    assert machine.call(e3) == 3         # a stale trace here would loop
+    assert report.tiering_stats()["traces_invalidated"] >= 0
+
+    # The countdown below the rollback point still runs bit-identically.
+    ref = Machine(engine="reference")
+    r1 = ref.code.extend(_countdown(30))
+    ref.code.link()
+    ref.call(r1)
+    before = machine.cpu.cycles
+    machine.call(e1)
+    assert machine.cpu.cycles - before == ref.cpu.cycles
+
+
+def test_distrust_demotes_traces_and_profile():
+    """distrust_block_cache (the exec-trust breaker's demotion hook) must
+    drop formed traces AND the hotness profile, so a re-trusted machine
+    starts cold instead of instantly re-promoting."""
+    report.reset()
+    machine = Machine(engine="tiered", tiering=HOT2)
+    entry = machine.code.extend(_countdown(30))
+    machine.code.link()
+    machine.call(entry)
+    assert report.tiering_stats()["promotions"] >= 1
+    engine = machine._engine
+    assert engine._traces
+
+    machine.distrust_block_cache()
+    assert not engine._traces
+    assert not engine._counts
+    assert report.tiering_stats()["traces_invalidated"] >= 1
+
+    # Still correct (and re-promotes) after demotion.
+    before = machine.cpu.cycles
+    machine.call(entry)
+    ref = Machine(engine="reference")
+    r1 = ref.code.extend(_countdown(30))
+    ref.code.link()
+    ref.call(r1)
+    assert machine.cpu.cycles - before == ref.cpu.cycles

@@ -30,6 +30,12 @@ def _fake_result(app_name="hash", backend="icode", static_opt="lcc"):
     with tracer.span("run:fake", cat="spec"):
         tracer.advance(100)
     r.tracer = tracer
+    r.hot_profile = [
+        {"pc": 7, "kind": "trace", "dispatches": 90, "blocks": 4,
+         "instructions": 17, "cycles": 5_400},
+        {"pc": 3, "kind": "block", "dispatches": 12, "blocks": 1,
+         "instructions": 5, "cycles": 96},
+    ]
     return r
 
 
@@ -77,6 +83,7 @@ class TestEverySubcommand:
         ("blur", "xv Blur case study"),
         ("usedops", "ICODE-emitter pruning"),
         ("telemetry", "Telemetry summary"),
+        ("hot", "Hottest execution units"),
     ])
     def test_subcommand_exits_zero_and_renders(self, capsys, name, marker):
         assert report.main([name]) == 0
@@ -86,7 +93,8 @@ class TestEverySubcommand:
         assert report.main(["all"]) == 0
         out = capsys.readouterr().out
         for marker in ("Table 1", "Figure 4", "Figure 5", "Figure 6",
-                       "Figure 7", "Blur", "pruning", "Telemetry"):
+                       "Figure 7", "Blur", "pruning", "Telemetry",
+                       "Hottest"):
             assert marker in out
 
     def test_fig5_renders_dash_when_never_amortized(self, capsys):
@@ -107,5 +115,25 @@ class TestBadArguments:
     def test_registry_of_reports_matches_cli(self):
         assert set(report.REPORTS) == {
             "table1", "fig4", "fig5", "fig6", "fig7", "blur", "usedops",
-            "telemetry",
+            "telemetry", "hot",
         }
+
+
+class TestHotReport:
+    def test_hot_report_ranks_traces(self, cheap_reports, capsys):
+        assert report.main(["hot"]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "block" in out
+        # The trace row (more dispatches) must be ranked first.
+        lines = [ln for ln in out.splitlines() if " trace " in ln
+                 or " block " in ln]
+        assert "trace" in lines[0]
+
+    def test_hot_report_handles_empty_profile(self, cheap_reports,
+                                              monkeypatch, capsys):
+        empty = _fake_result()
+        empty.hot_profile = None
+        monkeypatch.setattr("repro.apps.harness.measure",
+                            lambda app, **kw: empty)
+        assert report.main(["hot"]) == 0
+        assert "no units dispatched" in capsys.readouterr().out

@@ -16,6 +16,9 @@ fault class       expected outcome
 ``deadline``      request fails with DeadlineExceeded, session survives
 ``trap``          request fails with CycleBudgetExceeded, session
                   survives
+``poison_trace``  a formed trace is poisoned; its next dispatch deopts
+                  back to superblocks with bit-identical results —
+                  request succeeds (a no-op before any trace exists)
 ================  =====================================================
 """
 
@@ -25,7 +28,7 @@ import threading
 
 import pytest
 
-from repro import DeadlineExceeded, Engine
+from repro import DeadlineExceeded, Engine, report
 from repro.errors import CycleBudgetExceeded
 from repro.serving import ChaosPlan, chaos_matrix
 from repro.serving.chaos import KINDS, from_env
@@ -47,6 +50,7 @@ EXPECT = {
     "poison": (True, None),
     "deadline": (False, DeadlineExceeded),
     "trap": (False, CycleBudgetExceeded),
+    "poison_trace": (True, None),
 }
 
 MATRIX = dict(chaos_matrix())
@@ -127,6 +131,59 @@ class TestChaosMatrix:
                 statuses.append(out.ok)
             # Requests 3 and 6 trap; everything else is clean.
             assert statuses == [True, True, False, True, True, False, True]
+
+
+SUMMER = """
+int make_sum(int n) {
+    int vspec x = param(int, 0);
+    void cspec c = `{
+        int i, s;
+        s = 0;
+        for (i = 0; i < $n; i++)
+            s = s + x;
+        return s;
+    };
+    return (int)compile(c, int);
+}
+"""
+
+
+class TestTracePoisoning:
+    def test_poisoned_trace_deopts_with_identical_results(self):
+        """Poison a formed trace mid-flight: the next dispatch must deopt
+        back to the superblock path with bit-identical results, and the
+        loop must re-promote afterwards (the deopt re-arms the counter)."""
+        # No shared template store: both sessions must compile cold so
+        # their per-request cycle totals are comparable.
+        eng = Engine(SUMMER, chaos=None, share_templates=False)
+        plan = ChaosPlan(at={4: "poison_trace"})
+        deopts_before = report.tiering_stats()["deopts"]
+        clean_values = []
+        with eng.session(tiering={"hot_threshold": 2}) as clean:
+            for i in range(1, 8):
+                out = clean.request("make_sum", (50,), call_args=(i,))
+                assert out.ok
+                clean_values.append((out.value, out.cycles))
+        promos_mid = report.tiering_stats()["promotions"]
+        assert promos_mid > 0, "loop workload never formed a trace"
+        with eng.session(chaos=plan, tiering={"hot_threshold": 2}) as s:
+            for i in range(1, 8):
+                out = s.request("make_sum", (50,), call_args=(i,))
+                assert out.ok, f"request {i} failed: {out.error!r}"
+                assert (out.value, out.cycles) == clean_values[i - 1], \
+                    f"request {i} diverged after the trace was poisoned"
+        stats = report.tiering_stats()
+        assert stats["deopts"] > deopts_before
+        assert stats["promotions"] > promos_mid, \
+            "engine never re-promoted after the deopt"
+
+    def test_poison_trace_noop_without_tiered_engine(self):
+        """Under engine="block" the chaos hook must be a harmless no-op."""
+        eng = Engine(ADDER, chaos=None)
+        plan = ChaosPlan(at={1: "poison_trace"})
+        with eng.session(chaos=plan, engine="block") as s:
+            out = s.request("make_adder", (10,), call_args=(5,))
+            assert out.ok and out.value == 15
 
 
 class TestSessionIsolation:

@@ -81,6 +81,30 @@ class TestMetrics:
         with pytest.raises(ValueError):
             Histogram("bad", (100, 10))
 
+    def test_histogram_percentile_edge_cases(self):
+        h = Histogram("p", (10, 100))
+        # Empty: no sample to report, not a crash and not a zero.
+        assert h.percentile(0.5) is None
+        h.record(42)
+        # A single sample IS every percentile.
+        assert h.percentile(0.0) == 42
+        assert h.percentile(0.5) == 42
+        assert h.percentile(1.0) == 42
+        for v in (1, 7, 900):
+            h.record(v)
+        # p=0 and p=100 pin to the exact extremes, not bucket bounds.
+        assert h.percentile(0.0) == 1
+        assert h.percentile(1.0) == 900
+        mid = h.percentile(0.5)
+        assert 1 <= mid <= 900
+
+    def test_histogram_percentile_rejects_bad_quantiles(self):
+        h = Histogram("p", (10,))
+        h.record(1)
+        for bad in (-0.1, 1.5, 100):
+            with pytest.raises(ValueError, match="quantile"):
+                h.percentile(bad)
+
     def test_event_log_is_bounded_with_exact_total(self):
         log = EventLog("e", capacity=4)
         for i in range(10):
