@@ -7,11 +7,17 @@ Run from the repository root (CI's ``bench-trend`` step does)::
 
 The summary records, per benchmark file, its description and every
 numeric headline it carries, so one artifact tracks the whole perf
-surface across commits.  The gate: ``BENCH_tiering.json`` must not show
-the tiered engine *slower* than the block engine on any Figure-4 app —
-speedups below :data:`FLOOR` (a small allowance for shared-runner
-timing noise; the real bar of >= 1.3x on >= 3 apps is asserted by the
-benchmark itself) fail the build with exit code 1.
+surface across commits.  Two gates fail the build with exit code 1:
+
+* ``BENCH_tiering.json`` must not show the tiered engine *slower* than
+  the block engine on any Figure-4 app — speedups below :data:`FLOOR`
+  (a small allowance for shared-runner timing noise; the real bar of
+  >= 1.3x on >= 3 apps is asserted by the benchmark itself);
+* ``BENCH_warmstart.json`` must show the persistent-cache warm phase
+  with zero cold compiles and a cold/warm modeled-cycle speedup of at
+  least :data:`WARMSTART_FLOOR`.
+
+Either artifact being absent skips its gate (benchmarks are opt-in).
 """
 
 from __future__ import annotations
@@ -26,6 +32,10 @@ SUMMARY_PATH = ROOT / "BENCH_summary.json"
 #: Minimum tiered-vs-block speedup tolerated per Figure-4 app before the
 #: trend gate calls it a regression (0.95 absorbs host timing jitter).
 FLOOR = 0.95
+
+#: Minimum cold/warm modeled-codegen-cycle speedup BENCH_warmstart.json
+#: must show before the gate calls the persistent cache a regression.
+WARMSTART_FLOOR = 5.0
 
 
 def collect() -> dict:
@@ -56,32 +66,62 @@ def tiering_regressions(summary: dict) -> list:
     return slow
 
 
+def warmstart_regressions(summary: dict) -> list:
+    """Ways the persistent-cache warm start fell below its headline:
+    any cold compile in the warm phase, or a cold/warm modeled-cycle
+    speedup under :data:`WARMSTART_FLOOR`."""
+    warmstart = summary.get("BENCH_warmstart")
+    if not isinstance(warmstart, dict):
+        return []
+    problems = []
+    cold_compiles = warmstart.get("warm_cold_compiles")
+    if isinstance(cold_compiles, int) and cold_compiles > 0:
+        problems.append(f"{cold_compiles} cold compiles in the warm phase")
+    speedup = warmstart.get("cycle_speedup")
+    if isinstance(speedup, (int, float)) and speedup < WARMSTART_FLOOR:
+        problems.append(f"cycle speedup {speedup}x below the "
+                        f"{WARMSTART_FLOOR}x floor")
+    return problems
+
+
 def main() -> int:
     summary = collect()
     if not summary:
         print("trend: no BENCH_*.json artifacts found; run benchmarks/ first")
         return 1
     slow = tiering_regressions(summary)
+    cold_starts = warmstart_regressions(summary)
     summary["_trend"] = {
         "benchmarks_collected": sorted(summary),
         "tiering_floor": FLOOR,
         "tiering_regressions": [
             {"app": app, "speedup": speedup} for app, speedup in slow
         ],
+        "warmstart_floor": WARMSTART_FLOOR,
+        "warmstart_regressions": cold_starts,
     }
     SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True))
     print(f"trend: collected {len(summary) - 1} benchmark files "
           f"into {SUMMARY_PATH.name}")
+    failed = False
     if slow:
         for app, speedup in slow:
             print(f"trend: REGRESSION {app}: tiered is {speedup}x vs block "
                   f"(floor {FLOOR})")
-        return 1
-    if "BENCH_tiering" in summary:
+        failed = True
+    elif "BENCH_tiering" in summary:
         fig4 = summary["BENCH_tiering"].get("figure4", {})
         print(f"trend: tiered >= {FLOOR}x block on all "
               f"{len(fig4)} Figure-4 apps")
-    return 0
+    if cold_starts:
+        for problem in cold_starts:
+            print(f"trend: REGRESSION warm start: {problem}")
+        failed = True
+    elif "BENCH_warmstart" in summary:
+        speedup = summary["BENCH_warmstart"].get("cycle_speedup")
+        print(f"trend: warm start clean — 0 cold compiles, "
+              f"{speedup}x cycle speedup")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -161,6 +161,8 @@ class PatchRecorder:
         self.holes = []              # (rel_idx, field, origin, scale, addend, is_float)
         self.relocs = []             # (rel_idx, field) — Label operands, shift by delta
         self.instructions = None     # post-link plain-valued copy of the body
+        self._callee_sites = []      # (rel_idx, field, name) — FuncRef operands
+        self.callee_bindings = ()    # (name, resolved address) post-link
 
     # -- provenance bookkeeping ------------------------------------------
 
@@ -256,7 +258,11 @@ class PatchRecorder:
 
     def scan_installed(self, segment, entry) -> None:
         """Pre-link pass over the installed range: record Label operand
-        positions (relocations) and tagged-operand positions (holes)."""
+        positions (relocations), tagged-operand positions (holes), and
+        FuncRef operands (callee symbols whose resolved addresses the
+        persistent cache must re-validate on load)."""
+        from repro.core.operands import FuncRef
+
         self.entry = entry
         body = segment.instructions[entry:]
         self.n_instructions = len(body)
@@ -265,6 +271,8 @@ class PatchRecorder:
                 operand = getattr(instr, field)
                 if isinstance(operand, Label):
                     self.relocs.append((rel, field))
+                elif isinstance(operand, FuncRef):
+                    self._callee_sites.append((rel, field, operand.name))
                 elif isinstance(operand, PatchImm):
                     self.holes.append((rel, field, operand.origin,
                                        operand.scale, operand.addend, False))
@@ -288,6 +296,13 @@ class PatchRecorder:
                 ops.append(v)
             copied.append(Instruction(instr.op, *ops))
         self.instructions = copied
+        # FuncRef sites are plain addresses now; pair each callee's name
+        # with what the linker resolved it to (deduplicated, ordered).
+        bindings = {}
+        for rel, field, name in self._callee_sites:
+            if rel < len(copied):
+                bindings.setdefault(name, getattr(copied[rel], field))
+        self.callee_bindings = tuple(sorted(bindings.items()))
 
     def patchable_origins(self):
         """Origins certified for Tier-2 patching: produced at least one
@@ -332,7 +347,8 @@ class CodeTemplate:
     """
 
     __slots__ = ("values", "patchable", "holes", "relocs", "instructions",
-                 "entry", "end", "guards", "cold_cycles", "checksum")
+                 "entry", "end", "guards", "cold_cycles", "checksum",
+                 "callees")
 
     def __init__(self, recorder: PatchRecorder, end, cold_cycles):
         self.values = recorder.signature.values
@@ -344,11 +360,46 @@ class CodeTemplate:
         self.end = end
         self.guards = recorder.guards
         self.cold_cycles = cold_cycles
+        self.callees = recorder.callee_bindings
         self.checksum = _body_checksum(self.instructions)
+
+    @classmethod
+    def restore(cls, *, values, patchable, holes, relocs, instructions,
+                entry, guards, cold_cycles, callees):
+        """Rebuild a template deserialized from the persistent cache.
+
+        ``end`` is 0 — the body does not live in this process's segment,
+        so a rollback must never be able to drop it (and 0 never exceeds
+        a truncation length).  The in-memory checksum is *recomputed*
+        here: on-disk integrity is the format layer's sha256 digest, and
+        Python's ``hash()`` is salted per process, so the stored value
+        would be meaningless anyway.
+        """
+        self = cls.__new__(cls)
+        self.values = tuple(values)
+        self.patchable = frozenset(patchable)
+        self.holes = list(holes)
+        self.relocs = list(relocs)
+        self.instructions = list(instructions)
+        self.entry = entry
+        self.end = 0
+        self.guards = list(guards)
+        self.cold_cycles = cold_cycles
+        self.callees = tuple(callees)
+        self.checksum = _body_checksum(self.instructions)
+        return self
 
     def verify_integrity(self) -> bool:
         """True when the body still hashes to the stored checksum."""
         return _body_checksum(self.instructions) == self.checksum
+
+    def links_into(self, segment) -> bool:
+        """True when every callee symbol this body calls resolves to the
+        same address in ``segment`` — the link-compatibility gate for
+        templates loaded from disk (or surviving a symbol rollback)."""
+        if not self.callees:
+            return True
+        return segment.symbols_match(self.callees)
 
     def matches(self, signature: ClosureSignature) -> bool:
         """Every origin must carry the template's exact value unless it is
@@ -412,12 +463,16 @@ class CodeCache:
     def __init__(self, enabled=True, templates_enabled=True,
                  memo_capacity=MEMO_CAPACITY,
                  templates_per_shape=TEMPLATES_PER_SHAPE,
-                 template_store=None):
+                 template_store=None, disk=None):
         self.enabled = enabled
         self.templates_enabled = templates_enabled
         self.memo_capacity = memo_capacity
         self.templates_per_shape = templates_per_shape
         self.template_store = template_store
+        #: Optional :class:`~repro.persist.diskcache.DiskCodeCache`; when
+        #: a shared ``template_store`` is attached, *its* disk tier wins
+        #: and this one is ignored (the engine owns persistence then).
+        self.disk = disk
         self._memo = OrderedDict()   # (shape_key, values_key) -> CacheEntry
         self._templates = {}         # shape_key -> [CodeTemplate, ...]
         self._lock = threading.RLock()
@@ -435,49 +490,95 @@ class CodeCache:
                 return None
             return entry
 
-    def match_template(self, signature, memory):
+    def match_template(self, signature, memory, segment=None):
         """Tier-2 probe: a same-shape template whose non-hole values all
         match, whose guards still hold, and whose body passes its
         integrity checksum.  A template that fails the checksum was
         tampered with (cache poisoning): it is evicted on the spot and
-        never cloned."""
+        never cloned.
+
+        Candidates are snapshotted under the lock but matched/verified
+        *outside* it — guard evaluation reads session memory, which must
+        never stall other threads' stores.  When an in-memory miss falls
+        through and a disk tier is attached, previously persisted
+        templates for this shape are loaded (digest-checked and
+        link-verified against ``segment``) and admitted to the bucket.
+        """
         if not self.templates_enabled:
             return None
         if self.template_store is not None:
-            return self.template_store.match(signature, memory)
+            return self.template_store.match(signature, memory, segment)
         with self._lock:
-            bucket = self._templates.get(signature.shape_key, ())
-            for template in list(bucket):
-                if not template.matches(signature):
-                    continue
-                if not template.verify_integrity():
-                    bucket.remove(template)
-                    _POISONED.inc()
-                    continue
-                if _guards_hold(template.guards, memory):
-                    return template
+            candidates = list(self._templates.get(signature.shape_key, ()))
+        found = self._pick(candidates, signature, memory, segment)
+        if found is not None:
+            return found
+        loaded = self._load_from_disk(signature, segment)
+        if loaded:
+            with self._lock:
+                bucket = self._templates.setdefault(signature.shape_key, [])
+                bucket.extend(loaded)
+                while len(bucket) > self.templates_per_shape:
+                    bucket.pop(0)
+            return self._pick(loaded, signature, memory, segment)
         return None
+
+    def _pick(self, candidates, signature, memory, segment):
+        """Scan candidate templates lock-free; evict poisoned ones."""
+        for template in candidates:
+            if not template.matches(signature):
+                continue
+            if not template.verify_integrity():
+                self.evict_template(signature, template)
+                _POISONED.inc()
+                continue
+            if segment is not None and not template.links_into(segment):
+                continue
+            if _guards_hold(template.guards, memory):
+                return template
+        return None
+
+    def _load_from_disk(self, signature, segment):
+        if self.disk is None or segment is None or not signature.persistable:
+            return []
+        return self.disk.load(signature, segment)
 
     # -- stores -----------------------------------------------------------
 
     def store(self, signature, recorder, entry, end, cold_cycles) -> None:
-        """Record a completed cold instantiation in both tiers."""
+        """Record a completed cold instantiation in both tiers.
+
+        Hole-less bodies (every origin pinned, or no ``$`` leaves at
+        all) are normally not worth a template — the Tier-1 memo already
+        covers exact replays — but when a disk tier is attached they are
+        captured anyway: a *fresh* process has no memo, and an exact
+        replay served by clone+patch is still vastly cheaper than a cold
+        compile.
+        """
         if not self.enabled or recorder is None or recorder.disabled:
             return
         with self._lock:
             self._memo_put(signature.key,
                            CacheEntry(entry, end, list(recorder.guards),
                                       cold_cycles))
-            if (self.templates_enabled and recorder.instructions is not None
-                    and recorder.patchable_origins()):
-                template = CodeTemplate(recorder, end, cold_cycles)
-                if self.template_store is not None:
-                    self.template_store.add(signature.shape_key, template)
-                    return
-                bucket = self._templates.setdefault(signature.shape_key, [])
-                bucket.append(template)
-                if len(bucket) > self.templates_per_shape:
-                    bucket.pop(0)
+            if not (self.templates_enabled
+                    and recorder.instructions is not None):
+                return
+            persisting = self._disk_tier() is not None
+            if not (recorder.patchable_origins()
+                    or (persisting and signature.persistable)):
+                return
+            template = CodeTemplate(recorder, end, cold_cycles)
+            if self.template_store is not None:
+                self.template_store.add(signature.shape_key, template,
+                                        signature)
+                return
+            bucket = self._templates.setdefault(signature.shape_key, [])
+            bucket.append(template)
+            if len(bucket) > self.templates_per_shape:
+                bucket.pop(0)
+        if self.disk is not None:
+            self.disk.offer(signature, template)
 
     def store_patched(self, signature, template, entry, end) -> None:
         """A Tier-2 clone is itself a valid Tier-1 entry for its key."""
@@ -590,13 +691,43 @@ class CodeCache:
                              + sum(len(b) for b in self._templates.values()))
             self._memo.clear()
             self._templates.clear()
+        if self.disk is not None:
+            # The in-memory tiers just lost everything; let the disk tier
+            # hand its templates out again on the next probes.
+            self.disk.reset_probes()
+
+    # -- disk tier ---------------------------------------------------------
+
+    def _disk_tier(self):
+        """The effective disk tier: the shared store's when attached."""
+        if self.template_store is not None:
+            return getattr(self.template_store, "disk", None)
+        return self.disk
+
+    def flush(self) -> None:
+        """Drain write-behind persistence (no-op without a disk tier)."""
+        disk = self._disk_tier()
+        if disk is not None:
+            disk.flush()
+
+    def corrupt_disk_first(self) -> bool:
+        """Chaos hook (``corrupt_disk``): tamper with one persisted
+        entry; a harmless no-op when no disk tier is configured."""
+        disk = self._disk_tier()
+        if disk is None:
+            return False
+        return disk.corrupt_first()
 
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> dict:
         with self._lock:
-            return {
+            out = {
                 "memo_entries": len(self._memo),
                 "template_shapes": len(self._templates),
                 "templates": sum(len(b) for b in self._templates.values()),
             }
+        disk = self._disk_tier()
+        if disk is not None:
+            out["disk"] = disk.stats()
+        return out

@@ -22,6 +22,7 @@ the selected dynamic back end.
 from __future__ import annotations
 
 import enum
+import os
 import re
 
 from repro import report
@@ -177,6 +178,13 @@ class CompiledProgram:
                           (default True; see repro.core.codecache)
         ``code_templates``  the cache's Tier-2 copy-and-patch fast path
                           (default True; ignored when ``codecache`` is off)
+        ``codecache_dir``  directory for the persistent template cache
+                          (default ``$REPRO_CODECACHE_DIR``, else off):
+                          templates are persisted write-behind and a
+                          fresh process warm-starts from shapes any
+                          earlier process compiled (see repro.persist).
+                          Ignored when ``template_store`` is supplied —
+                          the serving engine owns persistence then.
         ``retier``        adaptive VCODE->ICODE re-instantiation when a
                           closure's cumulative exec cycles cross the
                           Fig. 5 recompile crossover (default True; needs
@@ -286,10 +294,23 @@ class Process:
         self._entry_code_info: dict = {}   # entry -> (sig key, cold, backend)
         self._retier_to_icode: set = set()  # signature keys due for ICODE
         self._last_cold_cycles = None      # stashed by the cache paths
+        codecache_dir = options.get("codecache_dir")
+        if codecache_dir is None:
+            codecache_dir = os.environ.get("REPRO_CODECACHE_DIR") or None
+        disk = None
+        if (codecache_dir
+                and options.get("codecache", True)
+                and options.get("code_templates", True)
+                and options.get("template_store") is None):
+            from repro.persist import DiskCodeCache, program_namespace
+
+            disk = DiskCodeCache(codecache_dir,
+                                 program_key=program_namespace(program.source))
         self.codecache = CodeCache(
             enabled=options.get("codecache", True),
             templates_enabled=options.get("code_templates", True),
             template_store=options.get("template_store"),
+            disk=disk,
         )
         machine.code.add_invalidation_listener(self.codecache.on_segment_event)
         self._strings: dict = {}
@@ -731,7 +752,8 @@ class Process:
             return hit.entry
         if not use_templates:
             return None
-        template = cache.match_template(signature, memory)
+        template = cache.match_template(signature, memory,
+                                        self.machine.code)
         if template is None:
             return None
         machine = self.machine

@@ -1,0 +1,44 @@
+"""Persistent, shareable code cache: fleet-scale warm starts.
+
+PR 2's Tier-2 :class:`~repro.core.codecache.CodeTemplate` is exactly the
+ahead-of-time-shareable artifact Copy-and-Patch compilation describes —
+a position-independent instruction body with typed patch holes, guard
+sets, and provenance — but until now it died with its process.  This
+package gives it a disk tier:
+
+* :mod:`repro.persist.format` — the versioned, fingerprinted, sha256-
+  sealed JSON payload (mismatches are silent misses, corruption is
+  rejected and self-healed);
+* :mod:`repro.persist.diskcache` — :class:`DiskCodeCache`, the
+  write-behind, atomically-published, shard-locked, LRU-evicted store.
+
+Wire-up: pass ``codecache_dir=<path>`` to ``CompiledProgram.start`` (or
+``Engine(...)``), or set ``$REPRO_CODECACHE_DIR``.  Loaded templates
+re-link position-independently into the local segment and still pass
+through the always-on install audit before publication.
+"""
+
+from repro.persist.diskcache import DiskCodeCache, scan_dir
+from repro.persist.format import (
+    FORMAT_VERSION,
+    CorruptEntry,
+    UnserializableTemplate,
+    decode_template,
+    encode_template,
+    isa_fingerprint,
+    payload_digest,
+    program_namespace,
+)
+
+__all__ = [
+    "DiskCodeCache",
+    "scan_dir",
+    "FORMAT_VERSION",
+    "CorruptEntry",
+    "UnserializableTemplate",
+    "encode_template",
+    "decode_template",
+    "payload_digest",
+    "isa_fingerprint",
+    "program_namespace",
+]

@@ -11,6 +11,7 @@ Usage::
     python -m repro.report usedops    # section 5.2 pruned-emitter sizes
     python -m repro.report telemetry  # traced blur compile+run summary
     python -m repro.report hot        # hottest traces/superblocks (tiered)
+    python -m repro.report cache      # code-cache stats (memory + disk)
     python -m repro.report all
 
 Numbers are deterministic (simulated machine + modeled codegen cycles).
@@ -589,6 +590,58 @@ def report_hot(top: int = 10) -> str:
     return "\n".join(lines)
 
 
+def report_cache() -> str:
+    """Code cache stats: the in-memory tiers plus the persistent disk
+    tier (entries/bytes/hit ratios/evictions).  Reads live counters
+    only — safe to run inside a serving process or after the fact."""
+    import os
+
+    # Importing the disk tier registers its metrics (zeroed when the
+    # process never touched disk), so the report shape is stable.
+    from repro import persist  # noqa: F401  (metric registration)
+
+    stats = cache_stats()
+    reuse = stats["hits"] + stats["patched"]
+    probes = reuse + stats["misses"]
+    mem_ratio = reuse / probes if probes else 0.0
+    poisoned = _REGISTRY.counter("cache.poisoned_evictions").value
+    invalidated = _REGISTRY.counter("cache.invalidated").value
+    shared = _REGISTRY.counter("store.shared_matches").value
+    disk = {key: _REGISTRY.counter(f"cache.disk.{key}").value
+            for key in ("hits", "misses", "loads", "evictions", "rejects")}
+    disk_probes = disk["hits"] + disk["misses"]
+    disk_ratio = disk["hits"] / disk_probes if disk_probes else 0.0
+    lines = [
+        "Code cache: in-memory tiers (Tier-1 memo + Tier-2 templates)",
+        "plus the persistent disk tier (repro.persist)",
+        "",
+        f"{'tier':10s} {'hits':>8s} {'misses':>8s} {'evictions':>9s} "
+        f"{'hit ratio':>9s}",
+        f"{'in-memory':10s} {reuse:8d} {stats['misses']:8d} "
+        f"{invalidated + poisoned:9d} {mem_ratio:9.2f}",
+        f"{'disk':10s} {disk['hits']:8d} {disk['misses']:8d} "
+        f"{disk['evictions']:9d} {disk_ratio:9.2f}",
+        "",
+        f"in-memory: {stats['hits']} memo hits, {stats['patched']} template "
+        f"clones ({stats['patched_bytes']} bytes patched), "
+        f"{stats['cycles_saved']} modeled cycles saved, "
+        f"{shared} cross-session matches, {poisoned} poisoned evictions",
+        f"disk: {disk['loads']} templates deserialized, "
+        f"{disk['rejects']} rejected (corrupt/tampered)",
+    ]
+    hist = _REGISTRY.get("cache.disk.load_us")
+    if hist is not None and hist.count:
+        lines.append(
+            f"disk load latency: p50 {hist.percentile(0.5):.0f} us, "
+            f"p99 {hist.percentile(0.99):.0f} us over {hist.count} loads"
+        )
+    root = os.environ.get("REPRO_CODECACHE_DIR")
+    if root:
+        entries, total = persist.scan_dir(root)
+        lines.append(f"disk dir {root}: {entries} entries, {total} bytes")
+    return "\n".join(lines)
+
+
 REPORTS = {
     "table1": report_table1,
     "fig4": report_fig4,
@@ -599,6 +652,7 @@ REPORTS = {
     "usedops": report_usedops,
     "telemetry": report_telemetry,
     "hot": report_hot,
+    "cache": report_cache,
 }
 
 
@@ -628,6 +682,8 @@ def main(argv=None) -> int:
         print(report_telemetry())
         print()
         print(report_hot())
+        print()
+        print(report_cache())
         return 0
     print(REPORTS[argv[0]]())
     return 0

@@ -112,21 +112,51 @@ class ClosureSignature:
     addresses — whose indices double as patch-hole *origins*.
     ``origin_map`` maps ``(id(closure), slot_name)`` back to those indices
     so bind-time tagging can find them.
+
+    ``stable_shape`` is the cross-process twin of ``shape_key``: the same
+    entries, except that every per-process identity (a CGF's ``id()``) is
+    replaced by a stable name (its label), so two processes compiling the
+    same program produce byte-equal stable shapes.  It is the key half of
+    the persistent on-disk code cache (:mod:`repro.persist`).
+    ``persistable`` is False when the shape contains a leaf with no stable
+    encoding (an unknown capture keyed by object identity) — such
+    signatures stay process-local and are never written to disk.
     """
 
-    __slots__ = ("shape_key", "values", "values_key", "origin_map")
+    __slots__ = ("shape_key", "values", "values_key", "origin_map",
+                 "stable_shape", "persistable", "_shape_digest")
 
-    def __init__(self, shape_key, values, origin_map):
+    def __init__(self, shape_key, values, origin_map, stable_shape=None,
+                 persistable=True):
         self.shape_key = shape_key
         self.values = values
         self.values_key = tuple(
             ("f", struct.pack(">d", v)) if isinstance(v, float) else ("i", v)
             for v in values)
         self.origin_map = origin_map
+        self.stable_shape = stable_shape if stable_shape is not None \
+            else shape_key
+        self.persistable = persistable
+        self._shape_digest = None
 
     @property
     def key(self):
         return (self.shape_key, self.values_key)
+
+    @property
+    def shape_digest(self) -> str:
+        """Hex digest of ``stable_shape`` — the on-disk bucket key.
+
+        ``repr`` of the stable shape is deterministic (tuples of strings,
+        ints, bools, and None only), so the digest is identical across
+        processes, interpreter runs, and machines.
+        """
+        if self._shape_digest is None:
+            import hashlib
+
+            self._shape_digest = hashlib.sha256(
+                repr(self.stable_shape).encode("utf-8")).hexdigest()
+        return self._shape_digest
 
 
 def signature_of(closure: Closure, params=(), config=()) -> ClosureSignature:
@@ -142,10 +172,16 @@ def signature_of(closure: Closure, params=(), config=()) -> ClosureSignature:
     from repro.core.operands import FuncRef
 
     shape = []
+    stable = []     # cross-process twin of `shape` (ids -> stable names)
     values = []
     origin_map = {}
     interned = {}   # id(obj) -> canonical number (vspecs, dynlabels)
     seen = {}       # id(closure) -> canonical closure number
+    persistable = [True]
+
+    def put(entry, stable_entry=None):
+        shape.append(entry)
+        stable.append(entry if stable_entry is None else stable_entry)
 
     def canon(obj) -> int:
         num = interned.get(id(obj))
@@ -158,43 +194,47 @@ def signature_of(closure: Closure, params=(), config=()) -> ClosureSignature:
         if isinstance(v, Closure):
             walk(v)
         elif isinstance(v, Vspec):
-            shape.append(("vspec", canon(v), v.kind, v.cls, v.index))
+            put(("vspec", canon(v), v.kind, v.cls, v.index))
         elif isinstance(v, DynLabel):
-            shape.append(("dynlabel", canon(v)))
+            put(("dynlabel", canon(v)))
         elif isinstance(v, FuncRef):
-            shape.append(("funcref", v.name))
+            put(("funcref", v.name))
         elif isinstance(v, list):
-            shape.append(("list", len(v)))
+            put(("list", len(v)))
             for item in v:
                 leaf(c, name, item)
         elif isinstance(v, bool):
-            shape.append(("bool", v))
+            put(("bool", v))
         elif isinstance(v, (int, float)):
             origin_map.setdefault((id(c), name), len(values))
-            shape.append(("val", isinstance(v, float)))
+            put(("val", isinstance(v, float)))
             values.append(float(v) if isinstance(v, float) else int(v))
         else:
             # unknown capture: key on identity so it never falsely aliases
-            shape.append(("obj", type(v).__name__, id(v)))
+            # — and identity has no cross-process meaning, so the
+            # signature is not persistable.
+            persistable[0] = False
+            put(("obj", type(v).__name__, id(v)),
+                ("obj", type(v).__name__))
 
     def walk(c: Closure):
         if id(c) in seen:
-            shape.append(("ref", seen[id(c)]))
+            put(("ref", seen[id(c)]))
             return
         seen[id(c)] = len(seen)
         cgf = c.cgf
         if isinstance(cgf, CGF):
-            shape.append(("cgf", id(cgf)))
+            put(("cgf", id(cgf)), ("cgf", cgf.label))
         else:
-            shape.append(("cgf", type(cgf).__name__))
+            put(("cgf", type(cgf).__name__))
         for name in sorted(c.slots):
             kind = c.kinds.get(name)
-            shape.append(("slot", name, kind.value if kind is not None
-                          else None))
+            put(("slot", name, kind.value if kind is not None else None))
             leaf(c, name, c.slots[name])
 
     walk(closure)
-    shape.append(("params",
-                  tuple((v.index, v.cls, canon(v)) for v in params)))
-    shape.append(("config", tuple(config)))
-    return ClosureSignature(tuple(shape), tuple(values), origin_map)
+    put(("params", tuple((v.index, v.cls, canon(v)) for v in params)))
+    put(("config", tuple(config)))
+    return ClosureSignature(tuple(shape), tuple(values), origin_map,
+                            stable_shape=tuple(stable),
+                            persistable=persistable[0])

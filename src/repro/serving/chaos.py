@@ -36,6 +36,11 @@ Fault classes (:data:`KINDS`):
     stub; its next dispatch deopts back to the superblock path, which
     must produce bit-identical results (a no-op under other engines or
     before any trace has formed).
+``corrupt_disk``
+    one entry of the persistent on-disk code cache is tampered with in
+    place; the format layer's sha256 digest must reject it at load —
+    the request is served by a cold compile instead, and the corrupt
+    file is deleted (a no-op when no ``codecache_dir`` is configured).
 
 ``$REPRO_CHAOS`` syntax: comma-separated ``kind:N`` pairs, firing
 ``kind`` on every Nth request (e.g. ``emit_fault:3,poison:7``); the bare
@@ -48,7 +53,7 @@ import os
 
 #: Every fault class the chaos matrix can inject.
 KINDS = ("emit_fault", "exhaust", "alloc_fault", "poison", "deadline",
-         "trap", "poison_trace")
+         "trap", "poison_trace", "corrupt_disk")
 
 
 class ChaosPlan:

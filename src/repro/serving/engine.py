@@ -86,19 +86,41 @@ class Engine:
     def __init__(self, source, *, share_templates: bool = True,
                  templates_per_shape: int = 8, verify: str | None = None,
                  chaos: ChaosPlan | None | object = _UNSET,
+                 codecache_dir: str | None = None,
                  **session_defaults):
         """``source`` is `C source text or an already-compiled
         :class:`CompiledProgram`.  ``session_defaults`` are
         ``CompiledProgram.start`` options applied to every session
         (overridable per ``open_session``).  ``chaos`` installs an
-        engine-wide injection schedule (defaults to ``$REPRO_CHAOS``)."""
+        engine-wide injection schedule (defaults to ``$REPRO_CHAOS``).
+        ``codecache_dir`` (default ``$REPRO_CODECACHE_DIR``) attaches the
+        persistent template cache (:mod:`repro.persist`) to the shared
+        store, so a *fresh engine* — e.g. a restarted serving worker, or
+        one of N workers sharing the directory — warm-starts from every
+        closure shape the fleet has ever compiled."""
+        import os
+
         if isinstance(source, CompiledProgram):
             self.program = source
         else:
             self.program = TccCompiler(verify=verify).compile(source)
-        self.store = (TemplateStore(templates_per_shape=templates_per_shape)
+        if codecache_dir is None:
+            codecache_dir = os.environ.get("REPRO_CODECACHE_DIR") or None
+        self.disk = None
+        if codecache_dir:
+            from repro.persist import DiskCodeCache, program_namespace
+
+            self.disk = DiskCodeCache(
+                codecache_dir,
+                program_key=program_namespace(self.program.source))
+        self.store = (TemplateStore(templates_per_shape=templates_per_shape,
+                                    disk=self.disk)
                       if share_templates else None)
         self.session_defaults = dict(session_defaults)
+        if self.store is None and codecache_dir:
+            # No shared store to hang the disk tier on: give each session
+            # its own handle (same directory; safe under the shard locks).
+            self.session_defaults.setdefault("codecache_dir", codecache_dir)
         if verify is not None:
             self.session_defaults.setdefault("verify", verify)
         self.chaos = from_env() if chaos is _UNSET else chaos
@@ -159,6 +181,8 @@ class Engine:
         }
         if self.store is not None:
             out["store"] = self.store.stats()
+        elif self.disk is not None:
+            out["disk"] = self.disk.stats()
         return out
 
 
@@ -289,6 +313,11 @@ class Session:
                 undos.append(_clamp_capacity(machine.code))
             elif kind == "poison":
                 self.process.codecache.tamper_first()
+            elif kind == "corrupt_disk":
+                # Tamper with one persisted cache entry; the sha256
+                # digest must reject it on load (no-op without a
+                # configured codecache_dir).
+                self.process.codecache.corrupt_disk_first()
             elif kind == "poison_trace":
                 engine = getattr(machine, "_engine", None)
                 if engine is not None and hasattr(engine, "poison_trace"):
@@ -316,6 +345,10 @@ class Session:
         engine = getattr(self.process.machine, "_engine", None)
         if engine is not None and hasattr(engine, "publish_profile"):
             engine.publish_profile()
+        # Drain write-behind persistence before detaching: templates this
+        # session compiled must reach the shared cache directory even if
+        # the process exits abruptly after close().
+        self.process.codecache.flush()
         self.process.machine.code.remove_invalidation_listener(
             self.process.codecache.on_segment_event)
         REGISTRY.merge(self.metrics)

@@ -164,6 +164,24 @@ class CodeSegment:
             raise LinkError(f"undefined symbol {name!r}")
         return address
 
+    def symbols_match(self, bindings) -> bool:
+        """True when every ``(name, address)`` pair in ``bindings`` is
+        bound identically in this segment's symbol table.
+
+        This is the link-compatibility gate for the persistent code
+        cache: a serialized template's body embeds *resolved* callee
+        addresses, so it may only be cloned into a segment whose static
+        layout binds those symbols to the same places (Label operands,
+        by contrast, relocate position-independently by the clone
+        delta).  A missing or differently-placed symbol makes the pair
+        fail, which the cache treats as a silent miss.
+        """
+        symbols = self.symbols
+        for name, address in bindings:
+            if symbols.get(name) != address:
+                return False
+        return True
+
     def note_function(self, entry: int, name: str) -> None:
         """Record that the function ``name`` starts at ``entry`` (the
         install map used to attribute traps to a dynamic function)."""

@@ -5,6 +5,7 @@ Usage::
     python -m repro.telemetry blur                    # summary to stdout
     python -m repro.telemetry blur -f chrome -o blur_trace.json
     python -m repro.telemetry pow -f jsonl -o pow.jsonl --backend vcode
+    python -m repro.telemetry cache                   # code-cache stats
     python -m repro.telemetry --list
 
 The chrome output loads directly in Perfetto (https://ui.perfetto.dev)
@@ -61,6 +62,14 @@ def main(argv=None) -> int:
     parser.add_argument("--list", action="store_true",
                         help="list available app names and exit")
     args = parser.parse_args(argv)
+
+    if args.app == "cache":
+        # Passthrough to the report module's code-cache view: no app to
+        # trace, just the live in-memory + disk cache counters.
+        from repro import report
+
+        print(report.report_cache())
+        return 0
 
     from repro.apps import ALL_APPS
 

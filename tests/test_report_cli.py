@@ -84,6 +84,7 @@ class TestEverySubcommand:
         ("usedops", "ICODE-emitter pruning"),
         ("telemetry", "Telemetry summary"),
         ("hot", "Hottest execution units"),
+        ("cache", "Code cache"),
     ])
     def test_subcommand_exits_zero_and_renders(self, capsys, name, marker):
         assert report.main([name]) == 0
@@ -94,7 +95,7 @@ class TestEverySubcommand:
         out = capsys.readouterr().out
         for marker in ("Table 1", "Figure 4", "Figure 5", "Figure 6",
                        "Figure 7", "Blur", "pruning", "Telemetry",
-                       "Hottest"):
+                       "Hottest", "Code cache"):
             assert marker in out
 
     def test_fig5_renders_dash_when_never_amortized(self, capsys):
@@ -115,8 +116,44 @@ class TestBadArguments:
     def test_registry_of_reports_matches_cli(self):
         assert set(report.REPORTS) == {
             "table1", "fig4", "fig5", "fig6", "fig7", "blur", "usedops",
-            "telemetry", "hot",
+            "telemetry", "hot", "cache",
         }
+
+
+class TestCacheReport:
+    SOURCE = """
+    int make_adder(int n) {
+        int vspec p = param(int, 0);
+        int cspec c = `($n + p);
+        return (int)compile(c, int);
+    }
+    """
+
+    def test_cache_report_reflects_live_counters(self, capsys):
+        from repro.core.driver import TccCompiler
+
+        report.reset()
+        proc = TccCompiler().compile(self.SOURCE).start()
+        proc.run("make_adder", 10)
+        proc.run("make_adder", 10)   # Tier-1 memo hit
+        proc.run("make_adder", 20)   # Tier-2 clone+patch
+        assert report.main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Code cache" in out
+        assert "1 memo hits" in out
+        assert "1 template clones" in out
+
+    def test_cache_report_scans_configured_dir(self, tmp_path, monkeypatch,
+                                               capsys):
+        from repro.core.driver import TccCompiler
+
+        monkeypatch.setenv("REPRO_CODECACHE_DIR", str(tmp_path))
+        proc = TccCompiler().compile(self.SOURCE).start()
+        proc.run("make_adder", 10)
+        proc.codecache.flush()
+        assert report.main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert f"disk dir {tmp_path}: 1 entries" in out
 
 
 class TestHotReport:

@@ -19,6 +19,10 @@ fault class       expected outcome
 ``poison_trace``  a formed trace is poisoned; its next dispatch deopts
                   back to superblocks with bit-identical results —
                   request succeeds (a no-op before any trace exists)
+``corrupt_disk``  a persisted code-cache entry is tampered with; the
+                  sha256 digest rejects it at load and the request is
+                  served by a cold compile (a no-op when no
+                  ``codecache_dir`` is configured, as here)
 ================  =====================================================
 """
 
@@ -51,6 +55,7 @@ EXPECT = {
     "deadline": (False, DeadlineExceeded),
     "trap": (False, CycleBudgetExceeded),
     "poison_trace": (True, None),
+    "corrupt_disk": (True, None),
 }
 
 MATRIX = dict(chaos_matrix())

@@ -148,6 +148,64 @@ class TestTemplateStore:
         _hammer(worker)
         assert store.stats()["templates"] == 0
 
+    def test_slow_guard_evaluation_does_not_hold_the_stripe_lock(self):
+        """A session blocked evaluating guards inside ``match`` (its data
+        memory is slow) must not stall another session's ``add`` on the
+        same shape key: candidates are snapshotted under the stripe lock
+        and guards evaluated outside it."""
+
+        class _Template:
+            guards = ((0, "w", 1),)
+            callees = ()
+            instructions = []
+
+            def matches(self, signature):
+                return True
+
+            def verify_integrity(self):
+                return True
+
+            def links_into(self, segment):
+                return True
+
+        class _Signature:
+            shape_key = ("slow-shape",)
+            persistable = False
+
+        class _SlowMemory:
+            """load_word blocks until released, then fails the guard."""
+
+            def __init__(self):
+                self.entered = threading.Event()
+                self.release = threading.Event()
+
+            def load_word(self, addr):
+                self.entered.set()
+                assert self.release.wait(timeout=10), "memory never released"
+                return 0
+
+        store = TemplateStore()
+        store.add(_Signature.shape_key, _Template())
+        memory = _SlowMemory()
+        matcher = threading.Thread(
+            target=store.match, args=(_Signature(), memory))
+        matcher.start()
+        try:
+            assert memory.entered.wait(timeout=10)
+            # The matcher is parked inside guard evaluation.  An add on
+            # the same shape key (hence the same stripe) must complete.
+            adder = threading.Thread(
+                target=store.add, args=(_Signature.shape_key, _Template()))
+            adder.start()
+            adder.join(timeout=5)
+            assert not adder.is_alive(), \
+                "store.add blocked behind a slow guard evaluation"
+        finally:
+            memory.release.set()
+            matcher.join(timeout=10)
+        assert not matcher.is_alive()
+        assert store.stats()["templates"] == 2
+
     def test_stripes_partition_shapes(self):
         store = TemplateStore(stripes=4)
         pairs = self._templates(3)
