@@ -127,7 +127,7 @@ def test_figure4_apps_tiered_vs_block():
     # in another interleaved round is still a valid best-of measurement.
     fast = [n for n, r in rows.items() if r["speedup"] >= 1.3]
     if len(fast) < 3:
-        for name, row in rows.items():
+        for row in rows.values():
             if 1.1 <= row["speedup"] < 1.3:
                 b2, t2 = row["retime"]()
                 best_b = min(row["block_s"], b2)

@@ -15,9 +15,13 @@ surface across commits.  Two gates fail the build with exit code 1:
   >= 1.3x on >= 3 apps is asserted by the benchmark itself);
 * ``BENCH_warmstart.json`` must show the persistent-cache warm phase
   with zero cold compiles and a cold/warm modeled-cycle speedup of at
-  least :data:`WARMSTART_FLOOR`.
+  least :data:`WARMSTART_FLOOR`;
+* ``BENCH_analysis.json`` must show guard elision changing *no* modeled
+  result (bit-identical outputs on every app) while reducing modeled
+  cycles by at least :data:`ANALYSIS_FLOOR` percent on at least
+  :data:`ANALYSIS_MIN_APPS` Figure-4 apps.
 
-Either artifact being absent skips its gate (benchmarks are opt-in).
+An absent artifact skips its gate (benchmarks are opt-in).
 """
 
 from __future__ import annotations
@@ -36,6 +40,11 @@ FLOOR = 0.95
 #: Minimum cold/warm modeled-codegen-cycle speedup BENCH_warmstart.json
 #: must show before the gate calls the persistent cache a regression.
 WARMSTART_FLOOR = 5.0
+
+#: Guard-elision gate: modeled-cycle reduction (%) elision must deliver,
+#: and on how many Figure-4 apps, before the gate calls it a regression.
+ANALYSIS_FLOOR = 5.0
+ANALYSIS_MIN_APPS = 3
 
 
 def collect() -> dict:
@@ -84,6 +93,29 @@ def warmstart_regressions(summary: dict) -> list:
     return problems
 
 
+def analysis_regressions(summary: dict) -> list:
+    """Ways guard elision broke its contract: any app whose result
+    changed with analysis on (never acceptable), or fewer than
+    :data:`ANALYSIS_MIN_APPS` apps clearing :data:`ANALYSIS_FLOOR`
+    percent modeled-cycle reduction."""
+    analysis = summary.get("BENCH_analysis")
+    if not isinstance(analysis, dict):
+        return []
+    problems = []
+    apps = analysis.get("apps", {})
+    for app, row in sorted(apps.items()):
+        if row.get("identical") is False:
+            problems.append(f"{app}: elision changed the modeled result")
+    over = [app for app, row in apps.items()
+            if isinstance(row.get("reduction_pct"), (int, float))
+            and row["reduction_pct"] >= ANALYSIS_FLOOR]
+    if apps and len(over) < ANALYSIS_MIN_APPS:
+        problems.append(
+            f"only {len(over)} apps at >= {ANALYSIS_FLOOR}% cycle "
+            f"reduction (need {ANALYSIS_MIN_APPS})")
+    return problems
+
+
 def main() -> int:
     summary = collect()
     if not summary:
@@ -91,6 +123,7 @@ def main() -> int:
         return 1
     slow = tiering_regressions(summary)
     cold_starts = warmstart_regressions(summary)
+    elision = analysis_regressions(summary)
     summary["_trend"] = {
         "benchmarks_collected": sorted(summary),
         "tiering_floor": FLOOR,
@@ -99,6 +132,8 @@ def main() -> int:
         ],
         "warmstart_floor": WARMSTART_FLOOR,
         "warmstart_regressions": cold_starts,
+        "analysis_floor_pct": ANALYSIS_FLOOR,
+        "analysis_regressions": elision,
     }
     SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True))
     print(f"trend: collected {len(summary) - 1} benchmark files "
@@ -121,6 +156,15 @@ def main() -> int:
         speedup = summary["BENCH_warmstart"].get("cycle_speedup")
         print(f"trend: warm start clean — 0 cold compiles, "
               f"{speedup}x cycle speedup")
+    if elision:
+        for problem in elision:
+            print(f"trend: REGRESSION guard elision: {problem}")
+        failed = True
+    elif "BENCH_analysis" in summary:
+        over = summary["BENCH_analysis"].get("apps_over_floor", [])
+        print(f"trend: guard elision clean — results identical on all "
+              f"apps, >= {ANALYSIS_FLOOR}% cycle reduction on "
+              f"{len(over)}")
     return 1 if failed else 0
 
 

@@ -153,6 +153,9 @@ class PatchRecorder:
         self.signature = signature
         self.pinned = set()          # origin indices whose value steered codegen
         self.guards = []             # (addr, width_code, value) emission-time reads
+        self.pruned_guards = []      # guards discharged as entailed by the kept set
+        self.facts = []              # entry-relative elision facts (analysis on)
+        self.analysis = False        # set by install_function when analysis ran
         self.disabled = False
         self.disabled_reason = None
         # template capture (filled by scan_installed/snapshot)
@@ -347,8 +350,8 @@ class CodeTemplate:
     """
 
     __slots__ = ("values", "patchable", "holes", "relocs", "instructions",
-                 "entry", "end", "guards", "cold_cycles", "checksum",
-                 "callees")
+                 "entry", "end", "guards", "pruned_guards", "facts",
+                 "cold_cycles", "checksum", "callees")
 
     def __init__(self, recorder: PatchRecorder, end, cold_cycles):
         self.values = recorder.signature.values
@@ -359,13 +362,16 @@ class CodeTemplate:
         self.entry = recorder.entry
         self.end = end
         self.guards = recorder.guards
+        self.pruned_guards = list(recorder.pruned_guards)
+        self.facts = list(recorder.facts)
         self.cold_cycles = cold_cycles
         self.callees = recorder.callee_bindings
         self.checksum = _body_checksum(self.instructions)
 
     @classmethod
     def restore(cls, *, values, patchable, holes, relocs, instructions,
-                entry, guards, cold_cycles, callees):
+                entry, guards, cold_cycles, callees, facts=(),
+                pruned_guards=()):
         """Rebuild a template deserialized from the persistent cache.
 
         ``end`` is 0 — the body does not live in this process's segment,
@@ -384,6 +390,8 @@ class CodeTemplate:
         self.entry = entry
         self.end = 0
         self.guards = list(guards)
+        self.pruned_guards = list(pruned_guards)
+        self.facts = [tuple(fact) for fact in facts]
         self.cold_cycles = cold_cycles
         self.callees = tuple(callees)
         self.checksum = _body_checksum(self.instructions)
@@ -475,6 +483,9 @@ class CodeCache:
         self.disk = disk
         self._memo = OrderedDict()   # (shape_key, values_key) -> CacheEntry
         self._templates = {}         # shape_key -> [CodeTemplate, ...]
+        #: Surviving facts of the most recent template clone (the driver
+        #: hands them to the factcheck layer after the clone links).
+        self.last_clone_facts: list = []
         self._lock = threading.RLock()
 
     # -- lookups ----------------------------------------------------------
@@ -557,6 +568,22 @@ class CodeCache:
         """
         if not self.enabled or recorder is None or recorder.disabled:
             return
+        if recorder.analysis and recorder.guards:
+            # Guard pruning: guards entailed by earlier ones (duplicate
+            # reads, byte read-outs of an already-guarded word) are
+            # discharged so match-time evaluation only pays for the kept
+            # set.  The factcheck layer independently re-checks the
+            # entailment before anything is admitted to the cache.
+            from repro import report
+            from repro.analysis.facts import prune_guards
+            from repro.verify import factcheck
+
+            kept, pruned = prune_guards(recorder.guards)
+            if pruned:
+                factcheck.run_pruned(kept, pruned, where="store")
+                recorder.guards = kept
+                recorder.pruned_guards = list(recorder.pruned_guards) + pruned
+                report.record_analysis("guards_discharged", len(pruned))
         with self._lock:
             self._memo_put(signature.key,
                            CacheEntry(entry, end, list(recorder.guards),
@@ -626,7 +653,15 @@ class CodeCache:
         """Clone a template at the current segment cursor, patching holes
         and relocating label operands.  Emits through ``segment.emit`` so
         capacity checks and fault injection behave exactly as they would
-        for a cold compile; the caller wraps this in mark()/release()."""
+        for a cold compile; the caller wraps this in mark()/release().
+
+        Elision facts ride along: the fully patched body is re-proven by
+        the factcheck rules *before* emission, and any safe-form access
+        whose proof no longer holds under the new hole values (a patched
+        offset moved an address out of the certified region, say) is
+        demoted back to its checked opcode — strictly safer, never
+        wrong.  The surviving facts are left in ``last_clone_facts`` for
+        the caller's post-link verification pass."""
         segment = machine.code
         new_entry = segment.here
         delta = new_entry - template.entry
@@ -637,6 +672,7 @@ class CodeCache:
             patch_map.setdefault(rel, []).append((field,
                                                   (org, scl, add, is_float)))
         values = signature.values
+        clone = []
         for rel, src in enumerate(template.instructions):
             ops = {"a": src.a, "b": src.b, "c": src.c}
             for field, hole in patch_map.get(rel, ()):
@@ -649,7 +685,14 @@ class CodeCache:
                         ops[field] = float(raw)
                     else:
                         ops[field] = wrap32(int(raw) * scl + add)
-            segment.emit(Instruction(src.op, ops["a"], ops["b"], ops["c"]))
+            clone.append(Instruction(src.op, ops["a"], ops["b"], ops["c"]))
+        facts = [tuple(fact) for fact in template.facts]
+        if facts:
+            facts = self._revalidate_clone(clone, new_entry, facts,
+                                           machine.memory, cost)
+        self.last_clone_facts = facts
+        for instr in clone:
+            segment.emit(instr)
         cost.charge(Phase.PATCH, "copy_instr", len(template.instructions))
         if template.holes:
             cost.charge(Phase.PATCH, "hole", len(template.holes))
@@ -657,6 +700,32 @@ class CodeCache:
             cost.charge(Phase.PATCH, "guard", len(template.guards))
         cost.note_instruction(len(template.instructions))
         return new_entry
+
+    @staticmethod
+    def _revalidate_clone(clone, new_entry, facts, memory, cost):
+        """Re-prove every fact against the patched clone body; demote
+        accesses whose proofs fail (safe -> checked opcode) and return
+        the surviving facts."""
+        from repro import report
+        from repro.target.isa import SAFE_TO_CHECKED
+        from repro.verify import factcheck
+
+        cost.charge(Phase.LINK, "fact_check", len(facts))
+        failed = factcheck.failing_facts(clone, new_entry, facts, memory)
+        if not failed:
+            return facts
+        survivors = [fact for pos, fact in enumerate(facts)
+                     if pos not in failed]
+        covered = {fact[1] for fact in survivors}
+        demoted = 0
+        for idx, instr in enumerate(clone):
+            checked = SAFE_TO_CHECKED.get(instr.op)
+            if checked is not None and idx not in covered:
+                clone[idx] = Instruction(checked, instr.a, instr.b, instr.c)
+                demoted += 1
+        if demoted:
+            report.record_analysis("facts_demoted", demoted)
+        return survivors
 
     # -- invalidation ------------------------------------------------------
 

@@ -38,6 +38,7 @@ from repro.errors import (
     TccError,
     VerifyError,
 )
+from repro.analysis import resolve_analysis
 from repro.frontend import cast, parse, analyze
 from repro.frontend.sema import BUILTINS
 from repro.icode.backend import IcodeBackend
@@ -49,7 +50,7 @@ from repro.target.isa import wrap32
 from repro.telemetry import metrics as _metrics
 from repro.telemetry import trace as _trace
 from repro.vcode.machine import VcodeBackend
-from repro.verify import codeaudit, resolve_mode, ticklint
+from repro.verify import codeaudit, factcheck, resolve_mode, ticklint
 
 
 class BackendKind(enum.Enum):
@@ -256,6 +257,7 @@ class Process:
         self.regalloc = options.get("regalloc", "linear")
         self.static_opt = options.get("static_opt", "lcc")
         self.verify = resolve_mode(options.get("verify"))
+        self.analysis = resolve_analysis(options.get("analysis"))
         # Tracer resolution: explicit option > the static compiler's >
         # the machine's > a fresh one when the telemetry knob asks for it.
         tracer = options.get("tracer")
@@ -397,6 +399,7 @@ class Process:
                 self.machine, self.static_cost, fn, global_env,
                 self.intern_string, opt=self.static_opt, do_link=False,
                 options=self.options, verify=self.verify,
+                analysis=self.analysis,
             )
             self._static_entries[name] = entry
             if tracer is not None:
@@ -411,6 +414,9 @@ class Process:
             # whole statically compiled region after the batched link.
             codeaudit.run_range(self.machine, static_start,
                                 self.machine.code.here, where="static")
+            # Elision facts of deferred-link installs are queued for the
+            # same reason (dup windows need resolved branch targets).
+            factcheck.run_deferred(self.machine)
 
     def compilable_functions(self) -> list:
         """Names of functions the static back end can compile: defined,
@@ -488,7 +494,7 @@ class Process:
             self.machine, self.cost, regalloc=self.regalloc,
             optimize_ir=self.options.get("optimize_dynamic_ir", True),
             use_peephole=self.options.get("dynamic_peephole", True),
-            verify=self.verify,
+            verify=self.verify, analysis=self.analysis,
         )
 
     def compile_closure(self, closure, ret_type) -> int:
@@ -642,6 +648,7 @@ class Process:
             bool(opts.get("dynamic_unrolling", True)),
             opts.get("max_unroll"),
             bool(opts.get("reorder_cspec_operands", True)),
+            bool(self.analysis),
             str(ret_type),
         )
 
@@ -770,6 +777,11 @@ class Process:
             if self.verify != "off":
                 codeaudit.run_range(machine, entry, machine.code.here,
                                     where=f"template@{entry}")
+                if cache.last_clone_facts:
+                    factcheck.run_function(machine, entry,
+                                           machine.code.here,
+                                           cache.last_clone_facts,
+                                           where=f"template@{entry}")
         except CodeSegmentExhausted:
             machine.code.release()
             self.cost.begin_instantiation()  # discard partial charges

@@ -1356,7 +1356,7 @@ class CodeGen:
         self.backend.jmp(self.loops[-1][0])
 
     def _s_Continue(self, node) -> None:
-        for break_label, continue_label in reversed(self.loops):
+        for _break_label, continue_label in reversed(self.loops):
             if continue_label is not None:
                 self.backend.jmp(continue_label)
                 return

@@ -30,7 +30,8 @@ OPT_LEVELS = {
 def compile_static_function(machine, cost, fn: cast.FuncDef, global_env,
                             intern_string, opt: str = "lcc",
                             do_link: bool = True,
-                            options=None, verify: str = "off") -> int:
+                            options=None, verify: str = "off",
+                            analysis: bool = False) -> int:
     """Compile one C function; return its entry address.
 
     ``global_env`` maps ``id(decl)`` of globals to their ``MemLV``.
@@ -44,7 +45,7 @@ def compile_static_function(machine, cost, fn: cast.FuncDef, global_env,
     regalloc, optimize_ir, use_peephole = OPT_LEVELS[opt]
     backend = IcodeBackend(
         machine, cost, regalloc=regalloc, optimize_ir=optimize_ir,
-        use_peephole=use_peephole, verify=verify,
+        use_peephole=use_peephole, verify=verify, analysis=analysis,
     )
     ctx = EmitCtx(machine, cost, backend, fn.ty.ret, intern_string, options)
     ctx.env.update(global_env)

@@ -17,7 +17,7 @@ prepended/appended as needed, peephole optimization, and linking.
 from __future__ import annotations
 
 from repro.core.codecache import imm_float, imm_int
-from repro.core.install import install_function, spill_offset
+from repro.core.install import frame_elidable, install_function, spill_offset
 from repro.core.operands import FuncRef, VReg
 from repro.errors import CodegenError
 from repro.icode.flowgraph import build_flowgraph
@@ -33,6 +33,7 @@ from repro.target.isa import (
     ALLOCATABLE_FREGS,
     ALLOCATABLE_REGS,
     ARG_REGS,
+    CHECKED_TO_SAFE,
     FARG_REGS,
     FReg,
     Instruction,
@@ -99,7 +100,7 @@ class IcodeBackend:
 
     def __init__(self, machine, cost, regalloc: str = "linear",
                  optimize_ir: bool = False, use_peephole: bool = True,
-                 verify: str = "off"):
+                 verify: str = "off", analysis: bool = False):
         if regalloc not in ("linear", "color"):
             raise ValueError(f"unknown register allocator {regalloc!r}")
         self.machine = machine
@@ -108,6 +109,7 @@ class IcodeBackend:
         self.optimize_ir = optimize_ir
         self.use_peephole = use_peephole
         self.verify = verify
+        self.analysis = analysis
         self.storage_vregs: set = set()
         self.ir = IRFunction()
         self.labels: list[Label] = []
@@ -116,6 +118,9 @@ class IcodeBackend:
         self._dyn_labels: dict = {}
         self._weight = 1.0
         self._installed = False
+        self._const_marks: dict = {}
+        self._raw_facts: list = []
+        self.facts: list = []  # resolved elision facts, set by install()
         self.spills = 0
         # results populated by install(), exposed for tests/inspection
         self.intervals = None
@@ -284,7 +289,30 @@ class IcodeBackend:
                     ircheck.run_ir(self.ir, pass_name, storage)
             optim.optimize(self.ir, build_flowgraph, compute_liveness,
                            cost=cost, recorder=self.recorder,
-                           verifier=verifier)
+                           verifier=verifier, fold_mem_base=self.analysis)
+        if self.analysis:
+            from repro import report
+            from repro.analysis import dataflow
+
+            run = dataflow.analyze(self.ir, memory=self.machine.memory,
+                                   cost=cost, liveness=compute_liveness)
+            folded = optim.fold_dead_branches(self.ir, run.verdicts,
+                                              self.recorder)
+            if folded:
+                report.record_analysis("branches_folded", folded)
+                # The fold left the condition computation dead; one more
+                # optimization round collects it, then the analysis
+                # re-runs so the const marks key the final IR objects.
+                optim.optimize(self.ir, build_flowgraph, compute_liveness,
+                               cost=cost, recorder=self.recorder,
+                               fold_mem_base=True)
+                if paranoid:
+                    ircheck.run_ir(self.ir, "analysis", storage)
+                run = dataflow.analyze(self.ir,
+                                       memory=self.machine.memory,
+                                       cost=cost,
+                                       liveness=compute_liveness)
+            self._const_marks = run.const_marks
         fg = build_flowgraph(self.ir, cost)
         compute_liveness(fg, cost)
         if paranoid:
@@ -322,6 +350,9 @@ class IcodeBackend:
                 slot_alloc, cost,
             )
         self.spills = spilled
+        # Oversized frames lose the bracketing-anchor soundness argument
+        # for frame facts, so their spill traffic stays fully checked.
+        self._elide_frame = self.analysis and frame_elidable(slot_counter[0])
         if self.verify != "off":
             regcheck.run(self.ir, intervals,
                          where=f"{self.regalloc} allocation")
@@ -335,12 +366,40 @@ class IcodeBackend:
             if paranoid:
                 ircheck.run_body(body, self.labels, self.epilogue_label,
                                  "peephole")
+        facts: list = []
+        if self.analysis:
+            from repro.analysis import dataflow
+
+            if do_link:
+                # The duplicate-address pass needs real jump targets;
+                # deferred-link bodies keep only frame/const elision.
+                targets = {label.address for label in self.labels
+                           if label.address is not None}
+                facts.extend(dataflow.elide_duplicate_checks(body, targets))
+            # Resolve object-keyed frame/const facts to body indices
+            # (peephole preserves instruction identity; an instruction
+            # it dropped as unreachable takes its fact with it).
+            position = {id(instr): i for i, instr in enumerate(body)}
+            for kind, instr, payload in self._raw_facts:
+                index = position.get(id(instr))
+                if index is None:
+                    continue
+                if kind == "frame":
+                    facts.append(("frame", index, payload))
+                else:
+                    facts.append(("const", index, payload, payload))
+            facts.sort(key=lambda fact: fact[1])
+            if paranoid and facts:
+                ircheck.run_body(body, self.labels, self.epilogue_label,
+                                 "analysis")
         self.body = body
+        self.facts = facts
         cost.note_instruction(len(body))
         return install_function(
             self.machine, cost, body, self.labels, self.epilogue_label,
             used_sregs, used_fregs, has_call, slot_counter[0], name, do_link,
-            recorder=self.recorder, verify=self.verify,
+            recorder=self.recorder, verify=self.verify, facts=facts,
+            analysis=self.analysis,
         )
 
     # -- IR -> target translation -------------------------------------------------------
@@ -352,9 +411,28 @@ class IcodeBackend:
         used_fregs: set[int] = set()
         has_call = False
         cost = self.cost
+        elide = self.analysis
+        elide_frame = getattr(self, "_elide_frame", False)
+        const_marks = self._const_marks
+        raw_facts: list = []
+        self._raw_facts = raw_facts
 
         def emit(op, a=None, b=None, c=None):
-            body.append(Instruction(op, a, b, c))
+            instr = Instruction(op, a, b, c)
+            body.append(instr)
+            return instr
+
+        def emit_frame(op, reg, offset: int) -> None:
+            """A spill-slot access: SP-relative inside the frame the
+            prologue establishes, so under analysis it is emitted in
+            the proven-safe form with a ``frame`` fact."""
+            if elide_frame:
+                out = emit(CHECKED_TO_SAFE[op], reg, Reg.SP, offset)
+                raw_facts.append(("frame", out, offset))
+                cost.charge(Phase.TRANSLATE, "elide")
+            else:
+                emit(op, reg, Reg.SP, offset)
+            cost.charge(Phase.TRANSLATE, "spill_code")
 
         def location(vr: VReg):
             iv = assign.get(vr)
@@ -368,8 +446,7 @@ class IcodeBackend:
                 return iv.reg
             reg = _SCRATCH_F[scratch] if vr.cls == "f" else _SCRATCH_I[scratch]
             op = Op.FLW if vr.cls == "f" else Op.LW
-            emit(op, reg, Reg.SP, spill_offset(iv.location))
-            cost.charge(Phase.TRANSLATE, "spill_code")
+            emit_frame(op, reg, spill_offset(iv.location))
             return reg
 
         def dst_target(vr: VReg) -> int:
@@ -386,8 +463,7 @@ class IcodeBackend:
             iv = location(vr)
             if iv.reg is None:
                 op = Op.FSW if vr.cls == "f" else Op.SW
-                emit(op, reg, Reg.SP, spill_offset(iv.location))
-                cost.charge(Phase.TRANSLATE, "spill_code")
+                emit_frame(op, reg, spill_offset(iv.location))
 
         for instr in self.ir.instrs:
             cost.charge(Phase.TRANSLATE, "instr")
@@ -448,12 +524,24 @@ class IcodeBackend:
             if op in (Op.SW, Op.SB, Op.FSW):
                 value = src(instr.a, 0)
                 base = Reg.ZERO if instr.b is None else src(instr.b, 1)
-                emit(op, value, base, instr.c)
+                mark = const_marks.get(id(instr)) if elide else None
+                if mark is not None and instr.b is None:
+                    out = emit(CHECKED_TO_SAFE[op], value, base, instr.c)
+                    raw_facts.append(("const", out, mark[0]))
+                    cost.charge(Phase.TRANSLATE, "elide")
+                else:
+                    emit(op, value, base, instr.c)
                 continue
             if op in (Op.LW, Op.LB, Op.LBU, Op.FLW):
                 base = Reg.ZERO if instr.b is None else src(instr.b, 1)
                 reg = dst_target(instr.a)
-                emit(op, reg, base, instr.c)
+                mark = const_marks.get(id(instr)) if elide else None
+                if mark is not None and instr.b is None:
+                    out = emit(CHECKED_TO_SAFE[op], reg, base, instr.c)
+                    raw_facts.append(("const", out, mark[0]))
+                    cost.charge(Phase.TRANSLATE, "elide")
+                else:
+                    emit(op, reg, base, instr.c)
                 dst_commit(instr.a, reg)
                 continue
             if op in (Op.LI, Op.FLI):

@@ -47,6 +47,13 @@ _IMM_FOLD = {
     Op.SGEI: lambda a, b: int(a >= b),
 }
 
+#: Memory ops whose base register, when a known constant, can fold into
+#: the offset (base becomes the zero register).  Only the analysis
+#: pipeline enables this: the rewrite is what exposes absolute-address
+#: accesses to const-elision certification.
+_MEM_BASE_OPS = frozenset((Op.LW, Op.LB, Op.LBU, Op.SW, Op.SB,
+                           Op.FLW, Op.FSW))
+
 _PURE_PSEUDOS = frozenset()
 
 
@@ -62,7 +69,8 @@ def _is_pure(instr) -> bool:
     return isinstance(instr.a, VReg)
 
 
-def propagate_block(ir, start: int, end: int, recorder=None) -> int:
+def propagate_block(ir, start: int, end: int, recorder=None,
+                    fold_mem_base: bool = False) -> int:
     """Constant and copy propagation within one block; returns the number of
     rewrites performed.  ``recorder`` (a codecache PatchRecorder) is told
     when a tagged immediate is consumed by a fold that strips its
@@ -115,6 +123,22 @@ def propagate_block(ir, start: int, end: int, recorder=None) -> int:
                 if root is not v:
                     setattr(instr, field, root)
                     rewrites += 1
+        if (fold_mem_base and op in _MEM_BASE_OPS
+                and isinstance(instr.b, VReg) and instr.b in consts
+                and isinstance(instr.c, int)):
+            base_const = consts[instr.b]
+            if isinstance(base_const, int) and \
+                    not isinstance(base_const, bool):
+                # Fold the constant base into the offset; the engines
+                # compute addresses exactly (no wrapping), so the plain
+                # sum preserves trap addresses bit for bit.
+                folded = int(base_const) + int(instr.c)
+                if recorder is not None:
+                    folded = recorder.fold_binary("+", base_const,
+                                                  instr.c, folded)
+                instr.b = None
+                instr.c = folded
+                rewrites += 1
         if op in (Op.SW, Op.SB, Op.FSW, Op.BEQZ, Op.BNEZ):
             if isinstance(instr.a, VReg):
                 instr.a = resolve(instr.a)
@@ -156,6 +180,43 @@ def propagate_block(ir, start: int, end: int, recorder=None) -> int:
     return rewrites
 
 
+def fold_dead_branches(ir, verdicts, recorder=None) -> int:
+    """Rewrite conditional branches the dataflow analysis proved
+    one-sided: an always-taken branch becomes a ``JMP`` (dropping the
+    taken-branch penalty cycle), a never-taken branch is deleted.  In
+    both cases the condition computation goes dead and the next DCE
+    round collects it.
+
+    ``verdicts`` maps instruction index -> ``(taken, tags)`` as
+    produced by :func:`repro.analysis.dataflow.analyze`.  Every origin
+    in ``tags`` is pinned on ``recorder``: the decision depended on
+    those hole values, so a template clone must not patch them.
+    """
+    if not verdicts:
+        return 0
+    folded = 0
+    keep = []
+    for i, instr in enumerate(ir.instrs):
+        verdict = verdicts.get(i)
+        if (verdict is None
+                or instr.op not in (Op.BEQZ, Op.BNEZ)):
+            keep.append(instr)
+            continue
+        taken, tags = verdict
+        if recorder is not None:
+            for origin in tags:
+                recorder.pin(origin)
+        folded += 1
+        if taken:
+            instr.op = Op.JMP
+            instr.a, instr.b, instr.c = instr.b, None, None
+            keep.append(instr)
+        # Never-taken branches simply disappear.
+    if folded:
+        ir.instrs = keep
+    return folded
+
+
 def eliminate_dead_code(ir, fg) -> int:
     """Remove pure instructions whose destination is never used (backward
     block-local pass using live-out information).  Returns removals."""
@@ -181,7 +242,8 @@ def eliminate_dead_code(ir, fg) -> int:
 
 
 def optimize(ir, fg_builder, liveness_fn, rounds: int = 3, cost=None,
-             recorder=None, verifier=None) -> None:
+             recorder=None, verifier=None,
+             fold_mem_base: bool = False) -> None:
     """Run propagation + DCE to a (bounded) fixpoint.  ``fg_builder`` and
     ``liveness_fn`` are injected to avoid circular imports.  ``verifier``,
     when given, is called with a pass name after every optimization round
@@ -194,7 +256,8 @@ def optimize(ir, fg_builder, liveness_fn, rounds: int = 3, cost=None,
         fg = fg_builder(ir, None)
         work = 0
         for block in fg.blocks:
-            work += propagate_block(ir, block.start, block.end, recorder)
+            work += propagate_block(ir, block.start, block.end, recorder,
+                                    fold_mem_base=fold_mem_base)
         fg = fg_builder(ir, None)
         liveness_fn(fg, None)
         work += eliminate_dead_code(ir, fg)

@@ -32,8 +32,11 @@ import hashlib
 import json
 import struct
 
+from repro.analysis.facts import validate_fact
+
 #: Bump on any change to the entry/template payload schema.
-FORMAT_VERSION = 1
+#: v2: elision facts + discharged (pruned) guards ride with the template.
+FORMAT_VERSION = 2
 
 
 class UnserializableTemplate(ValueError):
@@ -146,6 +149,10 @@ def encode_template(template) -> dict:
         "entry": int(template.entry),
         "guards": [[int(addr), width, _encode_value(value)]
                    for addr, width, value in template.guards],
+        "pruned_guards": [[int(addr), width, _encode_value(value)]
+                          for addr, width, value in template.pruned_guards],
+        "facts": [[fact[0]] + [int(v) for v in fact[1:]]
+                  for fact in template.facts],
         "cold_cycles": int(template.cold_cycles),
         "callees": [[name, int(addr)] for name, addr in template.callees],
     }
@@ -191,6 +198,14 @@ def decode_template(body: dict):
             relocs.append((int(rel), field))
         guards = [(int(addr), str(width), _decode_value(value))
                   for addr, width, value in body["guards"]]
+        pruned = [(int(addr), str(width), _decode_value(value))
+                  for addr, width, value in body["pruned_guards"]]
+        facts = []
+        for row in body["facts"]:
+            fact = (str(row[0]),) + tuple(int(v) for v in row[1:])
+            if not validate_fact(fact, n):
+                raise CorruptEntry(f"bad fact {row!r}")
+            facts.append(fact)
         callees = tuple((str(name), int(addr))
                         for name, addr in body["callees"])
         return CodeTemplate.restore(
@@ -203,6 +218,8 @@ def decode_template(body: dict):
             guards=guards,
             cold_cycles=int(body["cold_cycles"]),
             callees=callees,
+            facts=facts,
+            pruned_guards=pruned,
         )
     except CorruptEntry:
         raise

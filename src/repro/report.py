@@ -12,6 +12,7 @@ Usage::
     python -m repro.report telemetry  # traced blur compile+run summary
     python -m repro.report hot        # hottest traces/superblocks (tiered)
     python -m repro.report cache      # code-cache stats (memory + disk)
+    python -m repro.report analysis   # guard elision + factcheck stats
     python -m repro.report all
 
 Numbers are deterministic (simulated machine + modeled codegen cycles).
@@ -268,7 +269,8 @@ def reset_tiering_stats() -> None:
 
 # -- verifier suite -----------------------------------------------------------
 
-_VERIFY_LAYERS = ("ticklint", "ircheck", "regcheck", "codeaudit")
+_VERIFY_LAYERS = ("ticklint", "ircheck", "regcheck", "codeaudit",
+                  "factcheck")
 _VERIFY_CHECKS = _REGISTRY.counter("verify.checks_run")
 _VERIFY_DIAGNOSTICS = _REGISTRY.labeled("verify.diagnostics",
                                         preset=_VERIFY_LAYERS)
@@ -302,6 +304,34 @@ def reset_verify_stats() -> None:
     _VERIFY_CHECKS.reset()
     _VERIFY_DIAGNOSTICS.reset()
     _VERIFY_SECONDS.reset()
+
+
+# -- static analysis / guard elision ------------------------------------------
+
+_ANALYSIS_EVENTS = _REGISTRY.labeled("analysis.events")
+
+#: Static-analysis counters, fed by the ICODE backend and the install
+#: path: checks elided per fact kind (``elided_frame`` / ``elided_dup``
+#: / ``elided_const``), facts exported to the factcheck layer, branches
+#: folded by dataflow verdicts, template guards discharged by analysis
+#: facts, and facts demoted back to checked form when a template clone's
+#: new hole values break the proof.
+ANALYSIS_STATS = _StatsView({
+    "events": _ANALYSIS_EVENTS.snapshot,
+})
+
+
+def record_analysis(event: str, n: int = 1) -> None:
+    """Record ``n`` occurrences of one analysis event."""
+    _ANALYSIS_EVENTS.inc(event, int(n))
+
+
+def analysis_stats() -> dict:
+    return dict(_ANALYSIS_EVENTS.snapshot())
+
+
+def reset_analysis_stats() -> None:
+    _ANALYSIS_EVENTS.reset()
 
 
 # -- serving engine -----------------------------------------------------------
@@ -642,6 +672,43 @@ def report_cache() -> str:
     return "\n".join(lines)
 
 
+def report_analysis() -> str:
+    """Static-analysis stats: checks elided per fact kind, branches
+    folded by dataflow verdicts, guards discharged at template-store
+    time, clone-time fact demotions, and the factcheck layer's
+    pass/fail totals.  Reads live counters only."""
+    stats = analysis_stats()
+    elided = {kind: stats.get(f"elided_{kind}", 0)
+              for kind in ("frame", "dup", "const")}
+    verify = verify_stats()
+    fact_diags = verify["diagnostics"].get("factcheck", 0)
+    lines = [
+        "Static analysis: proof-carrying guard elision "
+        "(repro.analysis.dataflow)",
+        "",
+        f"{'fact kind':10s} {'checks elided':>13s}",
+        f"{'frame':10s} {elided['frame']:13d}",
+        f"{'dup':10s} {elided['dup']:13d}",
+        f"{'const':10s} {elided['const']:13d}",
+        f"{'total':10s} {sum(elided.values()):13d}",
+        "",
+        f"facts exported to factcheck: {stats.get('facts_exported', 0)}",
+        f"branches folded by interval verdicts: "
+        f"{stats.get('branches_folded', 0)}",
+        f"template guards discharged at store: "
+        f"{stats.get('guards_discharged', 0)}",
+        f"facts demoted on clone revalidation: "
+        f"{stats.get('facts_demoted', 0)}",
+        "",
+        f"factcheck: {verify['checks_run']} verifier checks run "
+        f"(all layers), {fact_diags} factcheck diagnostics",
+    ]
+    if not any(stats.values()):
+        lines.append("(analysis off — set REPRO_ANALYSIS=1 or "
+                     "options={'analysis': 'on'})")
+    return "\n".join(lines)
+
+
 REPORTS = {
     "table1": report_table1,
     "fig4": report_fig4,
@@ -653,6 +720,7 @@ REPORTS = {
     "telemetry": report_telemetry,
     "hot": report_hot,
     "cache": report_cache,
+    "analysis": report_analysis,
 }
 
 

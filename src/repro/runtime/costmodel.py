@@ -58,6 +58,7 @@ DEFAULT_WEIGHTS = {
     (Phase.IR, "vreg"): 10,                # allocate a virtual register
     (Phase.IR, "rtconst_fold"): 16,
     (Phase.IR, "optimize"): 30,            # per instruction per opt round
+    (Phase.IR, "analysis"): 22,            # abstract interp, per instr visit
     # flow graph
     (Phase.FLOWGRAPH, "block"): 100,
     (Phase.FLOWGRAPH, "instr"): 25,        # scan + def/use update
@@ -81,8 +82,10 @@ DEFAULT_WEIGHTS = {
     # translation ICODE -> binary
     (Phase.TRANSLATE, "instr"): 170,       # dispatch + emit + peephole window
     (Phase.TRANSLATE, "spill_code"): 40,
+    (Phase.TRANSLATE, "elide"): 3,         # swap in the safe opcode + fact
     # linking
     (Phase.LINK, "patch"): 6,
+    (Phase.LINK, "fact_check"): 9,         # re-derive one elision fact
     # specialization cache (codecache.py)
     (Phase.CLOSURE, "cache_probe"): 12,    # hash + memo lookup + guard check
     (Phase.PATCH, "copy_instr"): 4,        # memcpy one template instruction

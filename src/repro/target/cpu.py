@@ -457,6 +457,19 @@ class Machine:
                 elif op is Op.SW:
                     memory.store_word(regs[b] + instr.c, regs[a])
                     pc += 1
+                # Proven-safe memory ops: CYCLE_COST already charges one
+                # cycle instead of two, but the reference stepper keeps
+                # the checked accessor as an audit oracle — an unsound
+                # exported fact traps here instead of silently reading
+                # or corrupting memory outside the guarded regions.
+                elif op is Op.LWS:
+                    value = memory.load_word(regs[b] + instr.c)
+                    if a != 0:
+                        regs[a] = value
+                    pc += 1
+                elif op is Op.SWS:
+                    memory.store_word(regs[b] + instr.c, regs[a])
+                    pc += 1
                 elif op is Op.BEQZ:
                     if regs[a] == 0:
                         cpu.cycles += 1      # taken-branch penalty
@@ -509,6 +522,25 @@ class Machine:
                     fregs[a] = memory.load_double(regs[b] + instr.c)
                     pc += 1
                 elif op is Op.FSW:
+                    memory.store_double(regs[b] + instr.c, fregs[a])
+                    pc += 1
+                elif op is Op.LBS:
+                    value = memory.load_byte(regs[b] + instr.c)
+                    if a != 0:
+                        regs[a] = value
+                    pc += 1
+                elif op is Op.LBUS:
+                    value = memory.load_byte_unsigned(regs[b] + instr.c)
+                    if a != 0:
+                        regs[a] = value
+                    pc += 1
+                elif op is Op.SBS:
+                    memory.store_byte(regs[b] + instr.c, regs[a])
+                    pc += 1
+                elif op is Op.FLWS:
+                    fregs[a] = memory.load_double(regs[b] + instr.c)
+                    pc += 1
+                elif op is Op.FSWS:
                     memory.store_double(regs[b] + instr.c, fregs[a])
                     pc += 1
                 elif op is Op.FLI:

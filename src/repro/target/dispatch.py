@@ -64,6 +64,7 @@ from repro.target.isa import (
     COMPARE_OPS,
     CYCLE_COST,
     IMM_TO_BASE,
+    SAFE_MEM_OPS,
     Op,
     disassemble_one,
     fdiv,
@@ -83,7 +84,10 @@ TERMINATOR_OPS = BRANCH_OPS | {Op.HALT, Op.HOSTCALL}
 #: call can run at most one block's worth of instructions past budget.
 MAX_BLOCK_INSTRUCTIONS = 128
 
-#: Memory ops (the trap sites the engine must charge exactly).
+#: Checked memory ops (the trap sites the engine must charge exactly).
+#: The proven-safe variants (:data:`SAFE_MEM_OPS`) are deliberately not
+#: here: their bounds test was discharged statically, so they cannot
+#: trap and need no pc/cycle flush.
 _MEM_OPS = {Op.LW, Op.SW, Op.LB, Op.LBU, Op.SB, Op.FLW, Op.FSW}
 
 #: Division family: register-form base op -> helper name in the block
@@ -180,6 +184,28 @@ def _reads_alu(nxt, r: int) -> bool:
     return (not imm_form and isinstance(nxt.c, int) and int(nxt.c) == r)
 
 
+def _with_imm_forms(bases):
+    """A base-op set widened with every immediate form that maps to it."""
+    bases = frozenset(bases)
+    return bases | {imm for imm, base in IMM_TO_BASE.items() if base in bases}
+
+
+#: The fusable superinstruction pairs, keyed by the kind names
+#: :func:`_fusion_kind` returns: ``(first-op set, second-op set)``.  A
+#: pair can only fuse when both ops appear in the program, so the
+#: link-time emitter pruner (:mod:`repro.analysis.usedops`) charges the
+#: pruned translator for exactly the fused cases the program's opcode
+#: set can trigger.
+FUSION_PAIRS = {
+    "cmp_branch": (_with_imm_forms(COMPARE_OPS),
+                   frozenset({Op.BEQZ, Op.BNEZ})),
+    "addr_mem": (frozenset({Op.ADDI}),
+                 frozenset(_MEM_OPS) | SAFE_MEM_OPS),
+    "li_op": (frozenset({Op.LI}), _with_imm_forms(_INT_EXPR)),
+    "load_op": (frozenset({Op.LW, Op.LWS}), _with_imm_forms(_INT_EXPR)),
+}
+
+
 def _fusion_kind(ins, nxt):
     """Classify the pair (ins, nxt) as a fusable superinstruction."""
     if nxt is None:
@@ -193,12 +219,12 @@ def _fusion_kind(ins, nxt):
             and nop in (Op.BEQZ, Op.BNEZ)
             and isinstance(nxt.a, int) and int(nxt.a) == int(a)):
         return "cmp_branch"
-    if (op is Op.ADDI and nop in _MEM_OPS
+    if (op is Op.ADDI and (nop in _MEM_OPS or nop in SAFE_MEM_OPS)
             and isinstance(nxt.b, int) and int(nxt.b) == int(a)):
         return "addr_mem"
     if op is Op.LI and isinstance(ins.b, int) and _reads_alu(nxt, int(a)):
         return "li_op"
-    if op is Op.LW and _reads_alu(nxt, int(a)):
+    if op in (Op.LW, Op.LWS) and _reads_alu(nxt, int(a)):
         return "load_op"
     return None
 
@@ -332,6 +358,40 @@ def _emit_mem_inline(g: _Gen, op, ins, addr: str) -> None:
 
 
 _INLINE_MEM_OPS = (Op.LW, Op.SW, Op.LB, Op.LBU, Op.SB)
+
+
+def _emit_safe_mem(g: _Gen, ins, base_expr: str, extra_cost: int = 0):
+    """Proven-safe memory op: this is the elision the analysis paid for.
+    No trap site, no pc flush, no bounds predicate — the access goes
+    straight at the backing bytearray (floats keep the accessor call;
+    doubles have no inline path even for checked ops) and its one-cycle
+    cost joins the batched charge like any ALU op."""
+    op = ins.op
+    g.pend += CYCLE_COST[op] + extra_cost
+    addr = g.addr_expr(base_expr, ins.c)
+    if op is Op.FLWS:
+        g.line(f"fregs[{g.ridx(ins.a)}] = fld({addr})")
+        return
+    if op is Op.FSWS:
+        g.line(f"fst({addr}, fregs[{g.ridx(ins.a)}])")
+        return
+    reg = f"regs[{g.ridx(ins.a)}]"
+    if op is Op.SWS:
+        g.line(f"a_ = {addr}")
+        g.line(f"data[a_:a_ + 4] = ({reg} & 0xFFFFFFFF)"
+               ".to_bytes(4, 'little')")
+    elif op is Op.SBS:
+        g.line(f"data[{addr}] = {reg} & 0xFF")
+    elif _is_zero(ins.a):
+        pass        # safe load into ZERO: no trap, no value — pure cost
+    elif op is Op.LWS:
+        g.line(f"a_ = {addr}")
+        g.line(f"{reg} = ifb(data[a_:a_ + 4], 'little', signed=True)")
+    elif op is Op.LBS:
+        g.line(f"v_ = data[{addr}]")
+        g.line(f"{reg} = v_ - 256 if v_ >= 128 else v_")
+    else:                                # LBUS
+        g.line(f"{reg} = data[{addr}]")
 
 
 def _emit_mem(g: _Gen, P: int, ins, base_expr: str, extra_cost: int = 0):
@@ -468,6 +528,8 @@ def _emit_one(g: _Gen, P: int, ins) -> None:
             g.line(f"regs[{g.ridx(a)}] = {g.wrap(f'~regs[{g.ridx(b)}]')}")
     elif op in _MEM_OPS:
         _emit_mem(g, P, ins, f"regs[{g.ridx(b)}]")
+    elif op in SAFE_MEM_OPS:
+        _emit_safe_mem(g, ins, f"regs[{g.ridx(b)}]")
     elif op is Op.FLI:
         g.pend += cost
         if isinstance(b, (int, float)) and math.isfinite(b):
@@ -543,13 +605,24 @@ def _emit_fused(g: _Gen, P: int, Pn: int, ins, nxt, kind: str) -> None:
     elif kind == "addr_mem":
         g.line(f"t = {g.wrap(f'regs[{g.ridx(ins.b)}] + {g.imm(ins.c)}')}")
         g.line(f"regs[{A}] = t")
-        _emit_mem(g, Pn, nxt, "t", extra_cost=cost)
+        if nxt.op in SAFE_MEM_OPS:
+            _emit_safe_mem(g, nxt, "t", extra_cost=cost)
+        else:
+            _emit_mem(g, Pn, nxt, "t", extra_cost=cost)
     elif kind == "li_op":
         lit = wrap32(int(ins.b))
         g.pend += cost + ncost
         g.line(f"regs[{A}] = {g.imm(lit)}")
         sub = {A: str(lit) if lit >= 0 else f"({lit})"}
         g.line(f"regs[{int(nxt.a)}] = {g.int_expr(nxt, sub)}")
+    elif ins.op is Op.LWS:               # load_op, proven-safe load
+        g.pend += cost
+        addr = g.addr_expr(f"regs[{g.ridx(ins.b)}]", ins.c)
+        g.line(f"a_ = {addr}")
+        g.line("t = ifb(data[a_:a_ + 4], 'little', signed=True)")
+        g.line(f"regs[{A}] = t")
+        g.pend += ncost
+        g.line(f"regs[{int(nxt.a)}] = {g.int_expr(nxt, {A: 't'})}")
     else:                                # load_op
         g.site(P, cost)
         addr = g.addr_expr(f"regs[{g.ridx(ins.b)}]", ins.c)

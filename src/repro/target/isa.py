@@ -152,6 +152,14 @@ class Op(enum.Enum):
     LW = enum.auto(); SW = enum.auto()
     LB = enum.auto(); LBU = enum.auto(); SB = enum.auto()
     FLW = enum.auto(); FSW = enum.auto()
+    # proven-safe memory (reg, base, offset): same semantics as the
+    # checked form on valid addresses, but the modeled bounds/region
+    # check has been discharged statically, so they cost one cycle
+    # instead of two.  Only the dataflow analysis may emit these, and
+    # every one must carry an exported fact the verifier can re-prove.
+    LWS = enum.auto(); SWS = enum.auto()
+    LBS = enum.auto(); LBUS = enum.auto(); SBS = enum.auto()
+    FLWS = enum.auto(); FSWS = enum.auto()
     # floating point
     FLI = enum.auto()        # fli fd, imm
     FMOV = enum.auto()
@@ -166,7 +174,26 @@ class Op(enum.Enum):
 
 
 #: Ops that write memory (the IR needs to know they define no register).
-STORE_OPS = {Op.SW, Op.SB, Op.FSW}
+STORE_OPS = {Op.SW, Op.SB, Op.FSW, Op.SWS, Op.SBS, Op.FSWS}
+
+#: Checked memory op -> its proven-safe variant, and back.  The modeled
+#: story: a two-cycle memory op is one cycle of bounds/region check plus
+#: one cycle of access, so an access proven in-bounds by the dataflow
+#: analysis (:mod:`repro.analysis.dataflow`) skips the check cycle.
+CHECKED_TO_SAFE = {
+    Op.LW: Op.LWS, Op.SW: Op.SWS, Op.LB: Op.LBS, Op.LBU: Op.LBUS,
+    Op.SB: Op.SBS, Op.FLW: Op.FLWS, Op.FSW: Op.FSWS,
+}
+SAFE_TO_CHECKED = {safe: chk for chk, safe in CHECKED_TO_SAFE.items()}
+
+#: The proven-safe memory opcodes (every one needs an exported fact).
+SAFE_MEM_OPS = frozenset(SAFE_TO_CHECKED)
+
+#: Access width in bytes, for checked and safe memory forms alike.
+MEM_WIDTH = {Op.LW: 4, Op.SW: 4, Op.LB: 1, Op.LBU: 1, Op.SB: 1,
+             Op.FLW: 8, Op.FSW: 8}
+MEM_WIDTH.update({safe: MEM_WIDTH[chk]
+                  for chk, safe in CHECKED_TO_SAFE.items()})
 
 #: Ops that transfer control unconditionally or conditionally.
 BRANCH_OPS = {Op.JMP, Op.BEQZ, Op.BNEZ, Op.CALL, Op.CALLR, Op.RET}
@@ -181,6 +208,8 @@ def _costs() -> dict:
     cost[Op.HOSTCALL] = 10
     for op in (Op.LW, Op.SW, Op.LB, Op.LBU, Op.SB, Op.FLW, Op.FSW):
         cost[op] = 2
+    for op in SAFE_MEM_OPS:
+        cost[op] = 1        # the bounds-check cycle is discharged statically
     cost[Op.MUL] = cost[Op.MULI] = 20
     for op in (Op.DIV, Op.DIVI, Op.DIVU, Op.DIVUI,
                Op.MOD, Op.MODI, Op.MODU, Op.MODUI):
@@ -288,6 +317,8 @@ _FORMATS = {
     Op.SLTU: "rrr",
     Op.LW: "rm", Op.LB: "rm", Op.LBU: "rm", Op.SW: "rm", Op.SB: "rm",
     Op.FLW: "fm", Op.FSW: "fm",
+    Op.LWS: "rm", Op.LBS: "rm", Op.LBUS: "rm", Op.SWS: "rm", Op.SBS: "rm",
+    Op.FLWS: "fm", Op.FSWS: "fm",
     Op.FLI: "fi", Op.FMOV: "ff", Op.FNEG: "ff",
     Op.FADD: "fff", Op.FSUB: "fff", Op.FMUL: "fff", Op.FDIV: "fff",
     Op.FSEQ: "rff", Op.FSNE: "rff", Op.FSLT: "rff", Op.FSLE: "rff",

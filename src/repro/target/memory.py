@@ -112,6 +112,16 @@ class Memory:
             raise MachineError("memory: commit without mark")
         self._marks.pop()
 
+    def stable_limit(self) -> int:
+        """Heap addresses below this are allocation-backed and can never
+        be released: ``release`` only rolls the bump pointer back to a
+        live checkpoint, and every live checkpoint sits at or above this
+        floor.  The dataflow analysis certifies absolute-address
+        (``const``) elision facts against this bound, so a certified
+        fact stays valid for the life of the machine — the bound is
+        monotone non-decreasing once the fact is recorded."""
+        return min([self._ptr] + self._marks)
+
     # -- access checks ----------------------------------------------------------
 
     def _check(self, addr, width: int, what: str) -> int:

@@ -6,6 +6,7 @@ Usage::
     python -m repro.telemetry blur -f chrome -o blur_trace.json
     python -m repro.telemetry pow -f jsonl -o pow.jsonl --backend vcode
     python -m repro.telemetry cache                   # code-cache stats
+    python -m repro.telemetry analysis                # guard-elision stats
     python -m repro.telemetry --list
 
 The chrome output loads directly in Perfetto (https://ui.perfetto.dev)
@@ -63,12 +64,12 @@ def main(argv=None) -> int:
                         help="list available app names and exit")
     args = parser.parse_args(argv)
 
-    if args.app == "cache":
-        # Passthrough to the report module's code-cache view: no app to
-        # trace, just the live in-memory + disk cache counters.
+    if args.app in ("cache", "analysis"):
+        # Passthrough to the report module's live-counter views: no app
+        # to trace, just the code-cache or guard-elision statistics.
         from repro import report
 
-        print(report.report_cache())
+        print(report.REPORTS[args.app]())
         return 0
 
     from repro.apps import ALL_APPS

@@ -38,6 +38,7 @@ from repro.core.operands import FuncRef
 from repro.target.isa import (
     NUM_FREGS,
     NUM_REGS,
+    SAFE_TO_CHECKED,
     Instruction,
     Op,
     wrap32,
@@ -136,10 +137,17 @@ def check_template(machine, template, signature, new_entry: int,
     for rel, src in enumerate(template.instructions):
         emitted = segment.instructions[new_entry + rel]
         if emitted.op is not src.op:
-            _diag(diags, "mispatched-template",
-                  f"@{new_entry + rel}: opcode {emitted.op!r} differs from "
-                  f"template {src.op!r}", where)
-            continue
+            # One substitution is legitimate: clone-time fact
+            # revalidation demotes a proven-safe access back to its
+            # checked twin when the new hole values break the proof.
+            # The checked form is a strict superset of the safe one, so
+            # the demotion can only add a bounds test, never change
+            # behavior.
+            if SAFE_TO_CHECKED.get(src.op) is not emitted.op:
+                _diag(diags, "mispatched-template",
+                      f"@{new_entry + rel}: opcode {emitted.op!r} differs "
+                      f"from template {src.op!r}", where)
+                continue
         expected = {"a": src.a, "b": src.b, "c": src.c}
         for field, hole in patch_map.get(rel, ()):
             if hole is None:

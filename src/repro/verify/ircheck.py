@@ -40,8 +40,8 @@ from repro.target.program import Label
 _F3 = {Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV}
 _F2 = {Op.FMOV, Op.FNEG}
 _FCMP = {Op.FSEQ, Op.FSNE, Op.FSLT, Op.FSLE, Op.FSGT, Op.FSGE}
-_ILOADS = {Op.LW, Op.LB, Op.LBU}
-_ISTORES = {Op.SW, Op.SB}
+_ILOADS = {Op.LW, Op.LB, Op.LBU, Op.LWS, Op.LBS, Op.LBUS}
+_ISTORES = {Op.SW, Op.SB, Op.SWS, Op.SBS}
 _PSEUDO_OPS = frozenset({"label", "call", "hostcall", "ret", "getarg"})
 
 #: target ops that write an integer register as their first operand
@@ -56,7 +56,7 @@ I_DEST_OPS = frozenset(
        )}
 )
 #: target ops that write a float register as their first operand
-F_DEST_OPS = frozenset({Op.FLI, Op.CVTIF, Op.FLW} | _F2 | _F3)
+F_DEST_OPS = frozenset({Op.FLI, Op.CVTIF, Op.FLW, Op.FLWS} | _F2 | _F3)
 
 
 def _diag(diags, rule, message, where):
@@ -100,9 +100,9 @@ def _compute_operand_spec(op):
         return ("f", "float", None)
     if op is Op.LI:
         return ("i", "int", None)
-    if op is Op.FLW:
+    if op in (Op.FLW, Op.FLWS):
         return ("f", "mem-base", "int")
-    if op is Op.FSW:
+    if op in (Op.FSW, Op.FSWS):
         return ("f", "mem-base", "int")
     if op in _ILOADS or op in _ISTORES:
         return ("i", "mem-base", "int")
@@ -137,7 +137,11 @@ _CODED_SPECS = {
 }
 
 
-def check_ir(ir, pass_name: str, storage=frozenset()) -> list:
+#: Default for ``storage``: no C-variable-backed vregs.
+_NO_STORAGE = frozenset()
+
+
+def check_ir(ir, pass_name: str, storage=_NO_STORAGE) -> list:
     """Verify one IRFunction after the pass named ``pass_name``.
 
     ``storage`` is the set of VRegs that back C variables; reading one
@@ -424,7 +428,7 @@ def check_body(body, labels, epilogue_label, pass_name: str) -> list:
     return diags
 
 
-def run_ir(ir, pass_name: str, storage=frozenset()) -> None:
+def run_ir(ir, pass_name: str, storage=_NO_STORAGE) -> None:
     verify.run_checker("ircheck", check_ir, ir, pass_name, storage)
 
 

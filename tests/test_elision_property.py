@@ -1,0 +1,119 @@
+"""Property tests for proof-carrying guard elision.
+
+The contract of ``analysis="on"``: observable behavior is *bit-identical*
+to the checked configuration — same results, same traps, same
+program-visible memory — and modeled execution cycles are strictly no
+worse (every elided check saves a cycle and elision never adds work on
+an executed path; only the never-executed high-frame probe may be
+added, and only when frame elision pays for it many times over).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineError
+from tests.conftest import compile_c
+
+_VARS = ("a", "b", "c")
+
+
+@st.composite
+def statements(draw, depth=0):
+    """Statements over three scalars and a global array: arithmetic,
+    conditionals, bounded loops, and fixed-index array traffic (the
+    array ops exercise const/dup elision; spilled scalars exercise
+    frame elision)."""
+    kind = draw(st.integers(0, 7 if depth < 2 else 4))
+    v = draw(st.sampled_from(_VARS))
+    w = draw(st.sampled_from(_VARS))
+    k = draw(st.integers(-20, 20))
+    idx = abs(k) % 8
+    if kind == 0:
+        return f"{v} = {w} + {k};"
+    if kind == 1:
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+        return f"{v} = {v} {op} {w};"
+    if kind == 2:
+        return f"{v} = {w} / {abs(k) + 1};"
+    if kind == 3:
+        return f"g[{idx}] = {w};"
+    if kind == 4:
+        return f"{v} = g[{idx}] + g[{idx}];"
+    if kind == 5:
+        rel = draw(st.sampled_from(["<", ">", "==", "!="]))
+        body = draw(statements(depth=depth + 1))
+        other = draw(statements(depth=depth + 1))
+        return f"if ({v} {rel} {k}) {{ {body} }} else {{ {other} }}"
+    if kind == 6:
+        body = draw(statements(depth=depth + 1))
+        n = draw(st.integers(1, 6))
+        lv = "ij"[depth]
+        return f"for ({lv} = 0; {lv} < {n}; {lv}++) {{ {body} }}"
+    body = draw(statements(depth=depth + 1))
+    return f"{{ {body} {v} = {v} ^ {k}; }}"
+
+
+@st.composite
+def programs(draw):
+    stmts = draw(st.lists(statements(), min_size=1, max_size=6))
+    return "\n        ".join(stmts)
+
+
+def _run(src, analysis, a, b, c):
+    proc = compile_c(src, backend="icode", compile_static=False,
+                     analysis=analysis, verify="paranoid")
+    entry = proc.run("build")
+    result = proc.function(entry, "iii", "i")(a, b, c)
+    memory = proc.machine.memory
+    visible = bytes(memory._data[:memory.stack_base])
+    return result, visible, proc.machine.cpu.cycles
+
+
+@settings(max_examples=25, deadline=None)
+@given(body=programs(), a=st.integers(-50, 50), b=st.integers(-50, 50),
+       c=st.integers(-50, 50))
+def test_elision_is_observationally_free(body, a, b, c):
+    src = f"""
+    int g[8];
+    int build(void) {{
+        int vspec a = param(int, 0);
+        int vspec b = param(int, 1);
+        int vspec c = param(int, 2);
+        void cspec code = `{{
+            int i, j;
+            {body}
+            return a * 3 + b * 5 + c * 7 + g[0] + g[7];
+        }};
+        return (int)compile(code, int);
+    }}
+    """
+    r_off, m_off, cy_off = _run(src, False, a, b, c)
+    r_on, m_on, cy_on = _run(src, True, a, b, c)
+    assert r_on == r_off, (body, r_on, r_off)
+    assert m_on == m_off, body
+    assert cy_on <= cy_off, (body, cy_on, cy_off)
+
+
+@settings(max_examples=10, deadline=None)
+@given(b=st.integers(-5, 0), a=st.integers(-50, 50))
+def test_traps_are_identical(a, b):
+    """A trapping program traps the same way — same error type, same
+    message — with elision on and off (b <= 0 can divide by zero)."""
+    src = """
+    int build(void) {
+        int vspec a = param(int, 0);
+        int vspec b = param(int, 1);
+        return (int)compile(`(a / (b + %d)), int);
+    }
+    """ % (-b)
+    outcomes = []
+    for analysis in (False, True):
+        proc = compile_c(src, backend="icode", compile_static=False,
+                         analysis=analysis, verify="paranoid")
+        fn = proc.function(proc.run("build"), "ii", "i")
+        try:
+            outcomes.append(("ok", fn(a, b)))
+        except MachineError as exc:
+            outcomes.append((type(exc).__name__, str(exc)))
+    assert outcomes[0] == outcomes[1], outcomes

@@ -1,0 +1,302 @@
+"""Mutation tests for the factcheck verifier layer.
+
+Each test plants one specific lie in an otherwise-sound fact set and
+asserts it is caught by *exactly* the factcheck layer: the mutated code
+still passes the layer-4 code audit (the instructions themselves are
+well-formed), but the fact re-derivation fails with a factcheck
+diagnostic.
+"""
+
+import pytest
+
+from repro.errors import VerifyError
+from repro.target.cpu import Machine
+from repro.target.isa import Instruction, Op, Reg
+from repro.target.memory import NULL_GUARD, STACK_GUARD
+from repro.verify import codeaudit, factcheck
+
+
+def install(machine, instructions):
+    """Emit a raw instruction list and link; returns (entry, end)."""
+    entry = machine.code.extend(instructions)
+    machine.code.link()
+    return entry, machine.code.here
+
+
+def assert_caught_by_exactly_factcheck(machine, entry, end, facts,
+                                       rule=None):
+    """The range passes the code audit but fails fact re-derivation."""
+    assert codeaudit.check_range(machine, entry, end) == []
+    diags = factcheck.check_function(machine, entry, end, facts)
+    assert diags, "factcheck accepted the mutated facts"
+    assert all(d.layer == "factcheck" for d in diags)
+    if rule is not None:
+        assert any(d.rule == rule for d in diags), \
+            [(d.rule, d.message) for d in diags]
+
+
+def frame_function(frame=160, safe_offset=8):
+    """A minimal two-anchor frame function: checked low save, checked
+    high probe, one elided save between them."""
+    return [
+        Instruction(Op.SUBI, Reg.SP, Reg.SP, frame),
+        Instruction(Op.SW, Reg.RA, Reg.SP, 0),
+        Instruction(Op.SW, Reg.ZERO, Reg.SP, frame - 4),
+        Instruction(Op.SWS, Reg.S0, Reg.SP, safe_offset),
+        Instruction(Op.LWS, Reg.S0, Reg.SP, safe_offset),
+        Instruction(Op.LWS, Reg.RA, Reg.SP, 0),
+        Instruction(Op.ADDI, Reg.SP, Reg.SP, frame),
+        Instruction(Op.RET),
+    ]
+
+
+FRAME_FACTS = [("frame", 3, 8), ("frame", 4, 8), ("frame", 5, 0)]
+
+
+class TestSoundFactsPass:
+    def test_frame_facts_reprove(self):
+        machine = Machine()
+        entry, end = install(machine, frame_function())
+        assert factcheck.check_function(machine, entry, end,
+                                        FRAME_FACTS) == []
+
+    def test_const_fact_reproves(self):
+        machine = Machine()
+        addr = machine.memory.alloc(16)
+        entry, end = install(machine, [
+            Instruction(Op.LWS, Reg.RV, Reg.ZERO, addr),
+            Instruction(Op.RET),
+        ])
+        facts = [("const", 0, addr, addr)]
+        assert factcheck.check_function(machine, entry, end, facts) == []
+
+    def test_dup_fact_reproves(self):
+        machine = Machine()
+        entry, end = install(machine, [
+            Instruction(Op.LW, Reg.RV, Reg.A0, 4),
+            Instruction(Op.SWS, Reg.RV, Reg.A0, 4),
+            Instruction(Op.RET),
+        ])
+        facts = [("dup", 1, 0)]
+        assert factcheck.check_function(machine, entry, end, facts) == []
+
+
+class TestMutations:
+    def test_interval_off_by_one_at_boundary(self):
+        # A const interval nudged one byte past the stable-heap limit:
+        # the boundary arithmetic must catch the overflow exactly, with
+        # no wrap32 slack.  One byte inside the limit passes; the first
+        # byte at the limit is caught.
+        machine = Machine()
+        machine.memory.alloc(64)
+        stable = machine.memory.stable_limit()
+        entry, end = install(machine, [
+            Instruction(Op.LBS, Reg.RV, Reg.ZERO, stable - 1),
+            Instruction(Op.RET),
+        ])
+        good = [("const", 0, stable - 1, stable - 1)]
+        assert factcheck.check_function(machine, entry, end, good) == []
+        entry2, end2 = install(machine, [
+            Instruction(Op.LBS, Reg.RV, Reg.ZERO, stable),
+            Instruction(Op.RET),
+        ])
+        mutated = [("const", 0, stable, stable)]
+        assert_caught_by_exactly_factcheck(machine, entry2, end2, mutated,
+                                           rule="unproven-const-access")
+
+    def test_interval_wraps_past_wrap32_boundary(self):
+        # lo + width computed without wrap32: an address at the top of
+        # the 32-bit space must not wrap to a small "in-bounds" value.
+        machine = Machine()
+        machine.memory.alloc(64)
+        top = (1 << 31) - 4
+        entry, end = install(machine, [
+            Instruction(Op.LWS, Reg.RV, Reg.ZERO, top),
+            Instruction(Op.RET),
+        ])
+        assert_caught_by_exactly_factcheck(
+            machine, entry, end, [("const", 0, top, top)],
+            rule="unproven-const-access")
+
+    def test_stale_fact_after_rollback(self):
+        # The segment is rolled back and re-used by a different
+        # function; the old facts now point at instructions that are
+        # not safe-form memory ops at all.
+        machine = Machine()
+        machine.code.mark()
+        body = frame_function()
+        entry, _ = install(machine, body)
+        # roll back and install different code over the same range
+        machine.code.release()
+        new_entry, new_end = install(machine, [
+            Instruction(Op.LI, Reg.RV, 7),
+            Instruction(Op.ADDI, Reg.RV, Reg.RV, 1),
+            Instruction(Op.MOV, Reg.A0, Reg.RV),
+            Instruction(Op.LI, Reg.A1, 0),
+            Instruction(Op.ADD, Reg.RV, Reg.RV, Reg.A0),
+            Instruction(Op.SUB, Reg.RV, Reg.RV, Reg.A1),
+            Instruction(Op.NOP),
+            Instruction(Op.RET),
+        ])
+        assert new_entry == entry
+        assert_caught_by_exactly_factcheck(machine, new_entry, new_end,
+                                           FRAME_FACTS,
+                                           rule="malformed-fact")
+
+    def test_wrong_arena_region(self):
+        # A const fact certifying an address in the *stack* arena: the
+        # access would pass the runtime's regional check, but the fact's
+        # claim — stable heap, immune to release — is a lie.
+        machine = Machine()
+        machine.memory.alloc(64)
+        stack_addr = machine.memory.stack_base + 64
+        entry, end = install(machine, [
+            Instruction(Op.LWS, Reg.RV, Reg.ZERO, stack_addr),
+            Instruction(Op.RET),
+        ])
+        assert_caught_by_exactly_factcheck(
+            machine, entry, end, [("const", 0, stack_addr, stack_addr)],
+            rule="unproven-const-access")
+        # ... and one in the null guard page.
+        entry2, end2 = install(machine, [
+            Instruction(Op.LWS, Reg.RV, Reg.ZERO, NULL_GUARD - 4),
+            Instruction(Op.RET),
+        ])
+        assert_caught_by_exactly_factcheck(
+            machine, entry2, end2,
+            [("const", 0, NULL_GUARD - 4, NULL_GUARD - 4)],
+            rule="unproven-const-access")
+
+    def test_alignment_lie(self):
+        # A frame fact for a word access at a misaligned offset: the
+        # engine's word fast path requires addr % 4 == 0, and the
+        # anchors only prove SP alignment for 4-aligned offsets.
+        machine = Machine()
+        body = frame_function(safe_offset=10)
+        entry, end = install(machine, body)
+        facts = [("frame", 3, 10), ("frame", 4, 10), ("frame", 5, 0)]
+        assert_caught_by_exactly_factcheck(machine, entry, end, facts,
+                                           rule="unproven-frame-access")
+
+    def test_load_bearing_pruned_guard(self):
+        # A discharged guard that is NOT entailed by the kept set: the
+        # template would match on fewer conditions than it was
+        # specialized for.
+        kept = [(4096, "w", 1), (4100, "w", 7)]
+        harmless = [(4096, "w", 1)]          # exact duplicate: fine
+        assert factcheck.check_pruned(kept, harmless) == []
+        load_bearing = [(4104, "w", 3)]      # nobody implies this one
+        diags = factcheck.check_pruned(kept, load_bearing)
+        assert diags and all(d.layer == "factcheck" for d in diags)
+        assert diags[0].rule == "unentailed-pruned-guard"
+        with pytest.raises(VerifyError):
+            factcheck.run_pruned(kept, load_bearing)
+
+    def test_byte_guard_entailment_is_checked_not_assumed(self):
+        # byte-of-word entailment with the wrong expected byte
+        kept = [(4096, "w", 0x01020304)]
+        assert factcheck.check_pruned(kept, [(4097, "bu", 0x03)]) == []
+        diags = factcheck.check_pruned(kept, [(4097, "bu", 0x04)])
+        assert diags and diags[0].rule == "unentailed-pruned-guard"
+
+    def test_fact_surviving_cache_invalidation(self):
+        # A persisted template's const fact certified against a *previous*
+        # process's larger heap: after the round-trip, the new machine's
+        # stable limit is lower, and the stale fact must not survive.
+        from repro.core.codecache import CodeTemplate
+        from repro.persist import format as pformat
+
+        donor = Machine()
+        addr = donor.memory.alloc(256) + 128     # high in the donor heap
+        instructions = [
+            Instruction(Op.LWS, Reg.RV, Reg.ZERO, addr),
+            Instruction(Op.RET),
+        ]
+        entry, end = install(donor, instructions)
+        facts = [("const", 0, addr, addr)]
+        assert factcheck.check_function(donor, entry, end, facts) == []
+
+        template = CodeTemplate.restore(
+            values=(), patchable=frozenset(), holes=[], relocs=[],
+            instructions=list(instructions), entry=entry, guards=[],
+            cold_cycles=10, callees=(), facts=facts, pruned_guards=[])
+        body = pformat.encode_template(template)
+        revived = pformat.decode_template(body)
+        assert revived.facts == [("const", 0, addr, addr)]
+
+        fresh = Machine()                        # heap never grew that far
+        assert fresh.memory.stable_limit() <= addr
+        f_entry, f_end = install(fresh, list(revived.instructions))
+        assert_caught_by_exactly_factcheck(fresh, f_entry, f_end,
+                                           revived.facts,
+                                           rule="unproven-const-access")
+
+    def test_dup_anchor_severed_by_call(self):
+        # A call between anchor and re-access invalidates the window:
+        # the callee may have changed the base register's meaning.
+        machine = Machine()
+        target = machine.code.extend([Instruction(Op.RET)])
+        machine.code.link()
+        entry, end = install(machine, [
+            Instruction(Op.LW, Reg.RV, Reg.A0, 4),
+            Instruction(Op.CALL, target),
+            Instruction(Op.SWS, Reg.RV, Reg.A0, 4),
+            Instruction(Op.RET),
+        ])
+        assert_caught_by_exactly_factcheck(machine, entry, end,
+                                           [("dup", 2, 0)],
+                                           rule="unproven-dup-access")
+
+    def test_orphan_safe_op_is_flagged(self):
+        # A safe-form op with no fact at all: the elision is unexplained.
+        machine = Machine()
+        addr = machine.memory.alloc(16)
+        entry, end = install(machine, [
+            Instruction(Op.LWS, Reg.RV, Reg.ZERO, addr),
+            Instruction(Op.RET),
+        ])
+        assert_caught_by_exactly_factcheck(machine, entry, end, [],
+                                           rule="unproven-safe-op")
+
+    def test_frame_span_wider_than_stack_guard(self):
+        # Anchors further apart than the guard gap: both could pass with
+        # the low one in the heap and the high one in the stack, so the
+        # bracketing argument collapses and the fact must be rejected.
+        machine = Machine()
+        frame = STACK_GUARD + 32                 # not elidable
+        entry, end = install(machine, [
+            Instruction(Op.SUBI, Reg.SP, Reg.SP, frame),
+            Instruction(Op.SW, Reg.RA, Reg.SP, 0),
+            Instruction(Op.SW, Reg.ZERO, Reg.SP, frame - 4),
+            Instruction(Op.SWS, Reg.S0, Reg.SP, 8),
+            Instruction(Op.ADDI, Reg.SP, Reg.SP, frame),
+            Instruction(Op.RET),
+        ])
+        assert_caught_by_exactly_factcheck(machine, entry, end,
+                                           [("frame", 3, 8)],
+                                           rule="unproven-frame-access")
+
+    def test_sp_redefined_before_access(self):
+        # SP is rewritten between the anchors and the elided access: the
+        # proof anchored the *old* SP.
+        machine = Machine()
+        frame = 160
+        entry, end = install(machine, [
+            Instruction(Op.SUBI, Reg.SP, Reg.SP, frame),
+            Instruction(Op.SW, Reg.RA, Reg.SP, 0),
+            Instruction(Op.SW, Reg.ZERO, Reg.SP, frame - 4),
+            Instruction(Op.SUBI, Reg.SP, Reg.SP, 16),
+            Instruction(Op.SWS, Reg.S0, Reg.SP, 8),
+            Instruction(Op.ADDI, Reg.SP, Reg.SP, frame + 16),
+            Instruction(Op.RET),
+        ])
+        assert_caught_by_exactly_factcheck(machine, entry, end,
+                                           [("frame", 4, 8)],
+                                           rule="unproven-frame-access")
+
+    def test_duplicate_coverage_is_flagged(self):
+        machine = Machine()
+        entry, end = install(machine, frame_function())
+        facts = FRAME_FACTS + [("frame", 3, 8)]
+        diags = factcheck.check_function(machine, entry, end, facts)
+        assert any(d.rule == "malformed-fact" for d in diags)

@@ -27,7 +27,7 @@ class TestFrameLayout:
             assert frame_size(n) >= SPILL_BASE + 8 * n
 
     def test_prologue_saves_only_used_registers(self):
-        prologue, epilogue = build_prologue_epilogue(
+        prologue, epilogue, _, _ = build_prologue_epilogue(
             {Reg.S0, Reg.S3}, set(), has_call=False, n_spill_slots=0
         )
         stores = [i for i in prologue if i.op is Op.SW]
@@ -38,7 +38,7 @@ class TestFrameLayout:
         assert all(i.a != Reg.RA for i in stores)
 
     def test_prologue_saves_ra_when_calling(self):
-        prologue, epilogue = build_prologue_epilogue(
+        prologue, epilogue, _, _ = build_prologue_epilogue(
             set(), set(), has_call=True, n_spill_slots=0
         )
         assert any(i.op is Op.SW and i.a == Reg.RA for i in prologue)
@@ -48,13 +48,13 @@ class TestFrameLayout:
         from repro.target.isa import ALLOCATABLE_FREGS
 
         f = ALLOCATABLE_FREGS[0]
-        prologue, _ = build_prologue_epilogue(
+        prologue, _, _, _ = build_prologue_epilogue(
             set(), {f}, has_call=False, n_spill_slots=0
         )
         assert any(i.op is Op.FSW for i in prologue)
 
     def test_epilogue_ends_with_ret(self):
-        _, epilogue = build_prologue_epilogue(set(), set(), False, 0)
+        _, epilogue, _, _ = build_prologue_epilogue(set(), set(), False, 0)
         assert epilogue[-1].op is Op.RET
 
 

@@ -312,7 +312,7 @@ class TestErrorsAndUnsupported:
         assert tu.decls == []  # a bare definition declares no objects
 
     def test_union_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ParseError):
             parse("union u { int x; };")
 
     def test_case_outside_switch_rejected(self):

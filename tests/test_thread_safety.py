@@ -141,7 +141,7 @@ class TestTemplateStore:
         store = TemplateStore(templates_per_shape=10**6)
 
         def worker(i):
-            for r in range(ROUNDS // 4):
+            for _ in range(ROUNDS // 4):
                 for shape, template in pairs:
                     store.add(shape, template)
                     store.evict(shape, template)
