@@ -19,7 +19,10 @@ surface across commits.  Two gates fail the build with exit code 1:
 * ``BENCH_analysis.json`` must show guard elision changing *no* modeled
   result (bit-identical outputs on every app) while reducing modeled
   cycles by at least :data:`ANALYSIS_FLOOR` percent on at least
-  :data:`ANALYSIS_MIN_APPS` Figure-4 apps.
+  :data:`ANALYSIS_MIN_APPS` Figure-4 apps;
+* ``BENCH_serving.json`` must show the serving SLO verdict OK with no
+  error budget exhausted, and the observability plane's measured
+  overhead at or under :data:`SLO_OVERHEAD_CEILING_PCT` percent.
 
 An absent artifact skips its gate (benchmarks are opt-in).
 """
@@ -45,6 +48,10 @@ WARMSTART_FLOOR = 5.0
 #: and on how many Figure-4 apps, before the gate calls it a regression.
 ANALYSIS_FLOOR = 5.0
 ANALYSIS_MIN_APPS = 3
+
+#: Serving-SLO gate: the observability plane's measured overhead (%)
+#: must not exceed this ceiling (mirrors the benchmark's own assert).
+SLO_OVERHEAD_CEILING_PCT = 5.0
 
 
 def collect() -> dict:
@@ -116,6 +123,30 @@ def analysis_regressions(summary: dict) -> list:
     return problems
 
 
+def serving_slo_regressions(summary: dict) -> list:
+    """Ways the serving run broke its SLOs: a breached verdict, an
+    exhausted error budget, or observability overhead over the
+    ceiling."""
+    serving = summary.get("BENCH_serving")
+    if not isinstance(serving, dict):
+        return []
+    problems = []
+    slo = serving.get("slo", {})
+    if slo.get("ok") is not True:
+        worst = slo.get("worst_alert", "unknown")
+        problems.append(f"SLO verdict breached (worst alert: {worst})")
+    exhausted = slo.get("exhausted") or []
+    if exhausted:
+        problems.append("error budget exhausted: " + ", ".join(exhausted))
+    overhead = serving.get("overhead", {}).get("overhead_pct")
+    if isinstance(overhead, (int, float)) and \
+            overhead > SLO_OVERHEAD_CEILING_PCT:
+        problems.append(
+            f"observability overhead {overhead}% over the "
+            f"{SLO_OVERHEAD_CEILING_PCT}% ceiling")
+    return problems
+
+
 def main() -> int:
     summary = collect()
     if not summary:
@@ -124,6 +155,7 @@ def main() -> int:
     slow = tiering_regressions(summary)
     cold_starts = warmstart_regressions(summary)
     elision = analysis_regressions(summary)
+    slo_breaches = serving_slo_regressions(summary)
     summary["_trend"] = {
         "benchmarks_collected": sorted(summary),
         "tiering_floor": FLOOR,
@@ -134,6 +166,8 @@ def main() -> int:
         "warmstart_regressions": cold_starts,
         "analysis_floor_pct": ANALYSIS_FLOOR,
         "analysis_regressions": elision,
+        "slo_overhead_ceiling_pct": SLO_OVERHEAD_CEILING_PCT,
+        "serving_slo_regressions": slo_breaches,
     }
     SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True))
     print(f"trend: collected {len(summary) - 1} benchmark files "
@@ -165,6 +199,15 @@ def main() -> int:
         print(f"trend: guard elision clean — results identical on all "
               f"apps, >= {ANALYSIS_FLOOR}% cycle reduction on "
               f"{len(over)}")
+    if slo_breaches:
+        for problem in slo_breaches:
+            print(f"trend: REGRESSION serving SLO: {problem}")
+        failed = True
+    elif "BENCH_serving" in summary:
+        overhead = summary["BENCH_serving"].get(
+            "overhead", {}).get("overhead_pct")
+        print(f"trend: serving SLOs met — verdict OK, observability "
+              f"overhead {overhead}% (ceiling {SLO_OVERHEAD_CEILING_PCT}%)")
     return 1 if failed else 0
 
 

@@ -1,0 +1,78 @@
+"""Observability plane CLI.
+
+Usage::
+
+    python -m repro.obs serve [--host H] [--port P] [--demo N]
+    python -m repro.obs scrape [--demo N]
+
+``serve`` binds the stdlib status endpoint (``/metrics`` ``/healthz``
+``/slo`` ``/blackbox``) and blocks until interrupted.  ``scrape`` prints
+one OpenMetrics exposition of the process-wide registry to stdout and
+exits — the one-shot form CI and the round-trip tests use.
+
+``--demo N`` first serves N requests of the deterministic heavy-tailed
+workload (:mod:`repro.obs.workload`) through a fresh serving engine, so
+both commands have real hit/patched/cold latency histograms, SLO state,
+and a flight-recorder ring to expose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _demo(n: int):
+    """Populate the registry (and attach an engine) with n requests."""
+    from repro.obs import workload
+    from repro.serving.engine import Engine
+
+    engine = Engine(workload.PROGRAM)
+    session = engine.open_session("demo")
+    workload.replay(session, workload.generate(n))
+    session.close()
+    return engine
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="serving observability: scrape or serve the metrics "
+                    "registry, SLO status, and flight-recorder bundles")
+    sub = parser.add_subparsers(dest="command", required=True)
+    serve = sub.add_parser("serve", help="run the HTTP status endpoint")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9464)
+    serve.add_argument("--demo", type=int, default=0, metavar="N",
+                       help="serve N demo requests first")
+    scrape = sub.add_parser("scrape",
+                            help="print one OpenMetrics exposition")
+    scrape.add_argument("--demo", type=int, default=0, metavar="N",
+                        help="serve N demo requests first")
+    args = parser.parse_args(argv)
+
+    engine = _demo(args.demo) if args.demo else None
+    if args.command == "scrape":
+        from repro.obs.openmetrics import render
+
+        sys.stdout.write(render())
+        return 0
+
+    from repro.obs.server import ObsServer
+
+    server = ObsServer(args.host, args.port)
+    print(f"serving on {server.url} "
+          f"(/metrics /healthz /slo /blackbox); Ctrl-C stops",
+          file=sys.stderr)
+    if engine is not None:
+        print(f"demo engine attached: {args.demo} requests served",
+              file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

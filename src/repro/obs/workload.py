@@ -1,0 +1,115 @@
+"""Deterministic heavy-tailed serving workloads.
+
+The ROADMAP's production-traffic scenario wants the request mix a
+specializing server actually sees (the paper's marshaling/packet-filter/
+query examples, TPDE's compile-latency frontiers): a few **hot**
+signatures a large share of requests repeat (Tier-1 memo hits after
+first touch), a **warm** band of signatures sharing the hot closure's
+shape with fresh ``$`` values (Tier-2 template patches), and a **cold**
+long tail of shapes never seen before (full instantiations — the loop
+bound below is a ``$`` value that steers unrolling, so every distinct
+bound is a genuinely new template shape).
+
+Everything is seeded: the same ``(seed, n)`` always yields the same
+request sequence, so latency percentiles and SLO verdicts are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: The serving program the generated requests run against: one
+#: template-patchable closure family and one shape-per-bound family.
+PROGRAM = """
+int make_adder(int n) {
+    int vspec p = param(int, 0);
+    int cspec c = `($n + p);
+    return (int)compile(c, int);
+}
+
+int make_sum(int n) {
+    int vspec x = param(int, 0);
+    void cspec c = `{
+        int i, s;
+        s = 0;
+        for (i = 0; i < $n; i++)
+            s = s + x;
+        return s;
+    };
+    return (int)compile(c, int);
+}
+"""
+
+#: The hot set: tiny, hammered constantly (Tier-1 hits after first use).
+HOT_VALUES = (3, 5, 7, 11)
+
+#: The warm band: same closure shape, Zipf-ish reuse (Tier-2 patches on
+#: first touch, Tier-1 hits on reuse).
+WARM_BASE = 100
+WARM_SPAN = 48
+
+
+class Request:
+    """One generated request (builder + spec args + call args) with the
+    traffic class it was drawn from (``hot``/``warm``/``cold``)."""
+
+    __slots__ = ("builder", "builder_args", "call_args", "klass")
+
+    def __init__(self, builder, builder_args, call_args, klass):
+        self.builder = builder
+        self.builder_args = builder_args
+        self.call_args = call_args
+        self.klass = klass
+
+    def __repr__(self) -> str:
+        return (f"<Request {self.builder}{self.builder_args} "
+                f"[{self.klass}]>")
+
+
+def generate(n: int, seed: int = 1234, hot: float = 0.60,
+             warm: float = 0.25) -> list:
+    """``n`` requests: ``hot`` fraction from :data:`HOT_VALUES`, ``warm``
+    from the warm band, the rest a cold tail of never-repeating loop
+    bounds.  Deterministic in ``(n, seed, hot, warm)``."""
+    if not 0 <= hot <= 1 or not 0 <= warm <= 1 or hot + warm > 1:
+        raise ValueError("hot/warm must be fractions with hot+warm <= 1")
+    rng = random.Random(seed)
+    out = []
+    cold_next = 4                      # loop bounds 4, 5, 6, ... never repeat
+    for _ in range(n):
+        draw = rng.random()
+        if draw < hot:
+            value = rng.choice(HOT_VALUES)
+            out.append(Request("make_adder", (value,),
+                               (rng.randrange(100),), "hot"))
+        elif draw < hot + warm:
+            # Zipf-flavoured reuse inside the warm band: low offsets are
+            # much likelier, so some warm signatures repeat (hits) while
+            # others appear once (patches).
+            offset = min(int(rng.paretovariate(1.2)) - 1, WARM_SPAN - 1)
+            out.append(Request("make_adder", (WARM_BASE + offset,),
+                               (rng.randrange(100),), "warm"))
+        else:
+            out.append(Request("make_sum", (cold_next,),
+                               (rng.randrange(8),), "cold"))
+            cold_next += 1
+    return out
+
+
+def replay(session, requests, observer=None) -> list:
+    """Serve every request through ``session``; returns the outcomes.
+    ``observer(request, outcome, host_us)`` is called per request when
+    given (the benchmark's percentile collector)."""
+    import time
+
+    outcomes = []
+    for request in requests:
+        t0 = time.perf_counter_ns()
+        outcome = session.request(request.builder, request.builder_args,
+                                  call_args=request.call_args)
+        host_us = (time.perf_counter_ns() - t0) / 1000.0
+        outcomes.append(outcome)
+        if observer is not None:
+            observer(request, outcome, host_us)
+    return outcomes

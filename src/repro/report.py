@@ -13,6 +13,7 @@ Usage::
     python -m repro.report hot        # hottest traces/superblocks (tiered)
     python -m repro.report cache      # code-cache stats (memory + disk)
     python -m repro.report analysis   # guard elision + factcheck stats
+    python -m repro.report slo        # SLO burn-rate / error-budget status
     python -m repro.report all
 
 Numbers are deterministic (simulated machine + modeled codegen cycles).
@@ -394,13 +395,28 @@ def reset_serving_stats() -> None:
     _DEGRADED_BY_TIER.reset()
 
 
+#: Extra zero-arg callables run by :func:`reset` after the registry —
+#: the observability plane registers one that clears live SLO windows
+#: and flight-recorder rings (state that lives outside the registry).
+_RESET_HOOKS: list = []
+
+
+def register_reset_hook(hook) -> None:
+    """Run ``hook()`` on every :func:`reset` (idempotent per callable)."""
+    if hook not in _RESET_HOOKS:
+        _RESET_HOOKS.append(hook)
+
+
 def reset() -> None:
     """Reset every cross-process counter the registry accumulates —
     backend fallbacks, specialization-cache statistics, block-dispatch
     engine statistics, verifier statistics, serving-engine statistics,
     and the newer telemetry metrics (compile histograms, segment events,
-    backend counters)."""
+    backend counters) — plus any registered reset hooks (live SLO
+    windows, flight-recorder rings)."""
     _REGISTRY.reset()
+    for hook in list(_RESET_HOOKS):
+        hook()
 
 
 def _series_results(app_names):
@@ -709,6 +725,43 @@ def report_analysis() -> str:
     return "\n".join(lines)
 
 
+def report_slo() -> str:
+    """SLO status: the attached serving engine's live burn-rate view
+    when one exists, else the default policy evaluated from the
+    registry's latency histograms and serving counters."""
+    from repro.obs import server
+    from repro.obs.slo import default_policy, evaluate_registry
+
+    engine = server.attached()
+    slo = getattr(engine, "slo", None) if engine is not None else None
+    if slo is not None:
+        status = slo.status()
+        source = f"live engine ({slo.policy.name} policy)"
+    else:
+        status = evaluate_registry(default_policy())
+        source = "registry histograms (default policy)"
+    lines = [
+        "Serving SLOs: error budgets and multi-window burn rates",
+        f"source: {source}",
+        "",
+        f"verdict: {'OK' if status.ok else 'BREACHED'} "
+        f"(worst alert: {status.worst()}, observed {status.observed})",
+        "",
+        f"{'objective':18s} {'alert':>9s} {'viol':>6s} {'total':>7s} "
+        f"{'burn fast':>9s} {'burn slow':>9s} {'budget left':>11s}",
+    ]
+    for s in status.statuses:
+        lines.append(
+            f"{s.objective.name:18s} {s.alert:>9s} {s.violations:6d} "
+            f"{s.total:7d} {s.burn_fast:9.2f} {s.burn_slow:9.2f} "
+            f"{s.budget_remaining:10.1%}"
+        )
+    if status.exhausted:
+        lines.append("")
+        lines.append("(!) budget exhausted: " + ", ".join(status.exhausted))
+    return "\n".join(lines)
+
+
 REPORTS = {
     "table1": report_table1,
     "fig4": report_fig4,
@@ -721,6 +774,7 @@ REPORTS = {
     "hot": report_hot,
     "cache": report_cache,
     "analysis": report_analysis,
+    "slo": report_slo,
 }
 
 

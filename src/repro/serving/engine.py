@@ -30,14 +30,19 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 
+import time
+
 from repro import report
 from repro.core.driver import CompiledProgram, TccCompiler
 from repro.errors import DeadlineExceeded, RuntimeTccError, TccError
+from repro.obs import server as _obs_server
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.slo import SloEngine, SloPolicy, default_policy
 from repro.serving.breaker import LADDER, BreakerBoard
 from repro.serving.chaos import ChaosPlan, from_env
 from repro.serving.envelope import DeadlineClock, Envelope, RetryPolicy
 from repro.serving.store import TemplateStore
-from repro.telemetry.metrics import REGISTRY, MetricsRegistry
+from repro.telemetry.metrics import REGISTRY, MetricsRegistry, exemplar_context
 from repro.tiering import SharedHotness
 
 _UNSET = object()
@@ -87,6 +92,8 @@ class Engine:
                  templates_per_shape: int = 8, verify: str | None = None,
                  chaos: ChaosPlan | None | object = _UNSET,
                  codecache_dir: str | None = None,
+                 slo: object = _UNSET, recorder: object = _UNSET,
+                 blackbox_dir: str | None = None,
                  **session_defaults):
         """``source`` is `C source text or an already-compiled
         :class:`CompiledProgram`.  ``session_defaults`` are
@@ -97,7 +104,18 @@ class Engine:
         persistent template cache (:mod:`repro.persist`) to the shared
         store, so a *fresh engine* — e.g. a restarted serving worker, or
         one of N workers sharing the directory — warm-starts from every
-        closure shape the fleet has ever compiled."""
+        closure shape the fleet has ever compiled.
+
+        The observability plane is always on by default: ``slo`` accepts
+        an :class:`~repro.obs.slo.SloEngine`, an
+        :class:`~repro.obs.slo.SloPolicy` (wrapped), or ``None`` to
+        disable (default: the monitor-only
+        :func:`~repro.obs.slo.default_policy`); ``recorder`` accepts a
+        :class:`~repro.obs.flightrec.FlightRecorder` or ``None`` to
+        disable; ``blackbox_dir`` (default ``$REPRO_BLACKBOX_DIR``)
+        makes every trigger dump a diagnostic bundle to disk.  The new
+        engine self-attaches to the ``python -m repro.obs serve``
+        endpoint (latest wins)."""
         import os
 
         if isinstance(source, CompiledProgram):
@@ -129,6 +147,17 @@ class Engine:
         self._session_seq = 0
         self.sessions_open = 0
         self.sessions_closed = 0
+        if slo is _UNSET:
+            slo = SloEngine(default_policy())
+        elif isinstance(slo, SloPolicy):
+            slo = SloEngine(slo)
+        self.slo = slo
+        if recorder is _UNSET:
+            recorder = FlightRecorder(dump_dir=blackbox_dir)
+        self.recorder = recorder
+        if self.recorder is not None and self.slo is not None:
+            self.recorder.slo_source = self.slo.status
+        _obs_server.attach(self)
 
     def open_session(self, name: str | None = None, *,
                      deadline: int | None = None,
@@ -185,6 +214,13 @@ class Engine:
             out["disk"] = self.disk.stats()
         return out
 
+    def dump_blackbox(self) -> dict:
+        """Dump the flight-recorder bundle right now (the ``manual``
+        trigger; also writes to disk when a dump dir is configured)."""
+        if self.recorder is None:
+            raise RuntimeTccError("engine has no flight recorder")
+        return self.recorder.trigger("manual")
+
 
 class Session:
     """One client's isolated execution context, with the robustness
@@ -206,6 +242,7 @@ class Session:
         self.requests_served = 0
         self.closed = False
         self._entry_keys: dict = {}        # entry -> breaker routing key
+        self._reference_pinned = False     # trap-storm edge detection
 
     # -- the request API ---------------------------------------------------
 
@@ -223,28 +260,36 @@ class Session:
         if self.closed:
             raise RuntimeTccError(f"session {self.name!r} is closed")
         self.requests_served += 1
+        correlation_id = f"{self.name}#{self.requests_served}"
         outcome = RequestOutcome()
         budget = self.deadline if deadline is _UNSET else deadline
         events = (self.chaos.events_for(self.requests_served)
                   if self.chaos else ())
         outcome.chaos = events
         budget, undos = self._apply_chaos(events, budget)
-        envelope = Envelope(self.breakers, DeadlineClock(budget),
-                            self.retry, registry=self.metrics)
+        slo = self.engine.slo
+        envelope = Envelope(
+            self.breakers, DeadlineClock(budget), self.retry,
+            registry=self.metrics,
+            min_rung=slo.protective_rung() if slo is not None else 0)
+        opens_before = self.metrics.counter("serving.breaker_opens").value
+        wall0 = time.perf_counter_ns()
         process = self.process
         process.envelope = envelope
         try:
-            entry = process.run(builder, *builder_args)
-            outcome.entry = entry
-            for addr, key in envelope.compiled:
-                self._entry_keys[addr] = key
-            if call_args is not None and isinstance(entry, int):
-                outcome.value = envelope.execute(
-                    process, entry, call_args, fcall_args, returns,
-                    name=name or builder, key=self._entry_keys.get(entry),
-                )
-            else:
-                outcome.value = entry
+            with exemplar_context(correlation_id):
+                entry = process.run(builder, *builder_args)
+                outcome.entry = entry
+                for addr, key in envelope.compiled:
+                    self._entry_keys[addr] = key
+                if call_args is not None and isinstance(entry, int):
+                    outcome.value = envelope.execute(
+                        process, entry, call_args, fcall_args, returns,
+                        name=name or builder,
+                        key=self._entry_keys.get(entry),
+                    )
+                else:
+                    outcome.value = entry
         except TccError as exc:
             outcome.error = exc
             if isinstance(exc, DeadlineExceeded):
@@ -253,6 +298,7 @@ class Session:
             process.envelope = None
             for undo in undos:
                 undo()
+        wall_us = (time.perf_counter_ns() - wall0) / 1000.0
         outcome.retries = envelope.retries
         outcome.cycles = envelope.clock.spent
         outcome.path = process._compile_path
@@ -260,7 +306,60 @@ class Session:
         outcome.tier = self._tier_of(envelope)
         report.record_request("completed" if outcome.ok else "failed",
                               self.metrics)
+        self._observe(outcome, correlation_id, builder, budget, envelope,
+                      opens_before, wall_us)
         return outcome
+
+    def _observe(self, outcome, correlation_id, builder, budget, envelope,
+                 opens_before, wall_us) -> None:
+        """Feed the engine's observability plane (SLO windows + flight
+        recorder) with this request; detect the recorder's triggers."""
+        engine = self.engine
+        if engine.slo is not None:
+            engine.slo.observe(outcome.path, outcome.cycles, outcome.ok,
+                               host_us=wall_us)
+        recorder = engine.recorder
+        if recorder is None:
+            return
+        triggers = []
+        opens = (self.metrics.counter("serving.breaker_opens").value
+                 - opens_before)
+        if opens:
+            triggers.append("breaker_open")
+        if outcome.exec_engine == "reference":
+            if not self._reference_pinned:
+                self._reference_pinned = True
+                triggers.append("trap_storm")
+        else:
+            self._reference_pinned = False
+        if any(kind in ("poison", "poison_trace", "corrupt_disk")
+               for kind in outcome.chaos):
+            triggers.append("chaos_poison")
+        spans = ()
+        tracer = getattr(self.process, "tracer", None)
+        if tracer is not None and tracer.spans:
+            spans = tuple((s.name, s.cat, s.dur)
+                          for s in tracer.spans[-8:])
+        recorder.record({
+            "session": self.name,
+            "builder": builder,
+            "correlation_id": correlation_id,
+            "ok": outcome.ok,
+            "error": (type(outcome.error).__name__
+                      if outcome.error is not None else None),
+            "tier": outcome.tier,
+            "path": outcome.path,
+            "retries": outcome.retries,
+            "cycles": outcome.cycles,
+            "deadline": budget,
+            "deadline_slack": envelope.clock.remaining(),
+            "rungs": envelope.compile_rungs,
+            "exec_engine": outcome.exec_engine,
+            "chaos": outcome.chaos,
+            "breaker_opens": opens,
+            "wall_us": round(wall_us, 1),
+            "spans": spans,
+        }, triggers=triggers)
 
     def run(self, builder: str, *args, deadline: int | None | object = _UNSET):
         """Enveloped spec-time run that *raises* on failure (the

@@ -108,11 +108,15 @@ class Envelope:
     """One request's robustness state; attach via ``process.envelope``."""
 
     def __init__(self, breakers, clock: DeadlineClock,
-                 policy: RetryPolicy, registry=None):
+                 policy: RetryPolicy, registry=None, min_rung: int = 0):
         self.breakers = breakers
         self.clock = clock
         self.policy = policy
         self.registry = registry
+        #: Ladder floor asked for by a protective SLO policy (see
+        #: :meth:`repro.obs.slo.SloEngine.protective_rung`): degrade
+        #: *before* the error budget is gone, not after traps storm.
+        self.min_rung = min_rung
         # per-request observability, read back by Session.request()
         self.retries = 0
         self.compile_rungs: list = []   # final rung of each compile()
@@ -127,7 +131,7 @@ class Envelope:
         self.clock.check()
         params = sorted(process.current_params, key=lambda v: v.index)
         key = self._routing_key(process, closure, params, ret_type)
-        rung = self.breakers.start_rung(key)
+        rung = max(self.breakers.start_rung(key), self.min_rung)
         last_error = None
         while rung < len(LADDER):
             entry = self._attempt_rung(process, closure, ret_type,

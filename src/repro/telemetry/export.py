@@ -99,6 +99,10 @@ def summary(source, registry=None) -> str:
         lines.append(f"{cat:10s} {count:7d} {cycles:15d}")
     total_cycles = max((s.end for s in spans), default=0)
     lines.append(f"{'timeline':10s} {len(spans):7d} {total_cycles:15d}")
+    dropped = getattr(source, "dropped", 0)
+    if dropped:
+        lines.append(f"(!) {dropped} spans dropped past the "
+                     f"{Tracer.MAX_SPANS}-span retention cap")
 
     interesting = [name for name in registry.names()
                    if not name.startswith("segment.")]

@@ -46,6 +46,7 @@ from __future__ import annotations
 import threading
 from bisect import bisect_left
 from collections import deque
+from contextlib import contextmanager
 
 #: One lock for every metric mutation/snapshot in the process.  Metric
 #: operations are tiny, so sharing one lock beats per-object locks on
@@ -70,6 +71,30 @@ INSTRUCTION_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
 #: adaptive VCODE->ICODE re-instantiation (see "retier" in
 #: :mod:`repro.core.driver`).
 COMPILE_PATHS = ("hit", "patched", "cold", "fallback", "degrade", "retier")
+
+#: Thread-local exemplar correlation context.  While a trace id is set
+#: (the serving session sets its request correlation id), histograms
+#: attach it to the bucket each recorded value lands in, so an
+#: OpenMetrics scrape can link a latency bucket back to one concrete
+#: request in the flight recorder (see :mod:`repro.obs`).
+_EXEMPLAR_TLS = threading.local()
+
+
+@contextmanager
+def exemplar_context(trace_id: str):
+    """Attach ``trace_id`` to every histogram value recorded on this
+    thread for the dynamic extent (nesting restores the outer id)."""
+    previous = getattr(_EXEMPLAR_TLS, "trace_id", None)
+    _EXEMPLAR_TLS.trace_id = trace_id
+    try:
+        yield
+    finally:
+        _EXEMPLAR_TLS.trace_id = previous
+
+
+def current_exemplar():
+    """The calling thread's exemplar trace id, or None."""
+    return getattr(_EXEMPLAR_TLS, "trace_id", None)
 
 
 class Counter:
@@ -168,10 +193,16 @@ class LabeledCounter:
 
 
 class Histogram:
-    """A fixed-boundary distribution with count/sum/min/max."""
+    """A fixed-boundary distribution with count/sum/min/max.
+
+    When a thread-local :func:`exemplar_context` is active, each
+    recorded value also stores ``(value, trace_id)`` as the *exemplar*
+    of the bucket it landed in (last write wins), surfaced by the
+    OpenMetrics exporter next to the bucket's cumulative count.
+    """
 
     __slots__ = ("name", "bounds", "buckets", "count", "total",
-                 "min", "max")
+                 "min", "max", "exemplars")
 
     def __init__(self, name: str, bounds):
         self.name = name
@@ -183,16 +214,21 @@ class Histogram:
         self.total = 0
         self.min = None
         self.max = None
+        self.exemplars: dict = {}
 
     def record(self, value) -> None:
         with _LOCK:
-            self.buckets[bisect_left(self.bounds, value)] += 1
+            index = bisect_left(self.bounds, value)
+            self.buckets[index] += 1
             self.count += 1
             self.total += value
             if self.min is None or value < self.min:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            trace_id = getattr(_EXEMPLAR_TLS, "trace_id", None)
+            if trace_id is not None:
+                self.exemplars[index] = (value, trace_id)
 
     @property
     def mean(self):
@@ -236,6 +272,7 @@ class Histogram:
             self.total = 0
             self.min = None
             self.max = None
+            self.exemplars = {}
 
     def merge(self, other: "Histogram") -> None:
         if other.bounds != self.bounds:
@@ -247,6 +284,7 @@ class Histogram:
                 self.buckets[i] += n
             self.count += other.count
             self.total += other.total
+            self.exemplars.update(other.exemplars)
             for v in (other.min, other.max):
                 if v is None:
                     continue
@@ -257,11 +295,15 @@ class Histogram:
 
     def snapshot(self) -> dict:
         with _LOCK:
-            return {
+            out = {
                 "count": self.count, "sum": self.total,
                 "min": self.min, "max": self.max,
                 "bounds": list(self.bounds), "buckets": list(self.buckets),
             }
+            if self.exemplars:
+                out["exemplars"] = {index: list(ex) for index, ex
+                                    in self.exemplars.items()}
+            return out
 
     def __repr__(self) -> str:
         return f"<Histogram {self.name} n={self.count} sum={self.total}>"
@@ -289,6 +331,18 @@ class EventLog:
     def dropped(self) -> int:
         """Events no longer retained (total is still exact)."""
         return self.total - len(self._events)
+
+    def resize(self, capacity: int) -> None:
+        """Change the retention cap in place (the flight recorder grows
+        its event feed beyond the default); shrinking drops the oldest
+        retained events, the total stays exact."""
+        if capacity < 1:
+            raise ValueError("event log capacity must be >= 1")
+        with _LOCK:
+            if capacity == self.capacity:
+                return
+            self.capacity = capacity
+            self._events = deque(self._events, maxlen=capacity)
 
     def __iter__(self):
         return iter(self._events)
@@ -363,6 +417,11 @@ class MetricsRegistry:
 
     def names(self):
         return sorted(self._metrics)
+
+    def items(self):
+        """A stable ``[(name, metric), ...]`` list (sorted by name)."""
+        with _LOCK:
+            return sorted(self._metrics.items())
 
     def snapshot(self) -> dict:
         """{name: plain-python value} for every registered metric."""

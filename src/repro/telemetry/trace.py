@@ -43,6 +43,13 @@ import threading
 import time
 from contextlib import contextmanager
 
+from repro.telemetry.metrics import REGISTRY as _REGISTRY
+
+#: Spans silently discarded past ``Tracer.MAX_SPANS`` used to vanish with
+#: no signal beyond the tracer's own ``dropped`` attribute; this counter
+#: makes the loss visible in every metrics export and scrape.
+_DROPPED_SPANS = _REGISTRY.counter("telemetry.trace.dropped_spans")
+
 #: Telemetry modes; ``sample:N`` is validated by :func:`resolve_mode`.
 MODES = ("off", "on")
 
@@ -150,6 +157,7 @@ class Tracer:
     def _append(self, span) -> bool:
         if len(self.spans) >= self.MAX_SPANS:
             self.dropped += 1
+            _DROPPED_SPANS.inc()
             return False
         self.spans.append(span)
         return True

@@ -73,3 +73,40 @@ def test_reset_clears_verify_counters():
     assert stats["checks_run"] == 0
     assert all(n == 0 for n in stats["diagnostics"].values())
     assert stats["time_seconds"] == 0.0
+
+
+def test_reset_runs_registered_hooks():
+    """report.reset() must clear state living outside the registry too
+    (SLO windows, flight-recorder rings) via registered hooks."""
+    calls = []
+
+    def hook():
+        calls.append(1)
+
+    report.register_reset_hook(hook)
+    report.register_reset_hook(hook)       # idempotent registration
+    try:
+        report.reset()
+        assert calls == [1]
+    finally:
+        report._RESET_HOOKS.remove(hook)
+
+
+def test_reset_clears_observability_plane():
+    """The obs plane's hook wipes live SLO windows and recorder rings."""
+    from repro.obs.flightrec import FlightRecorder
+    from repro.obs.slo import SloEngine, default_policy
+
+    slo = SloEngine(default_policy())
+    rec = FlightRecorder(capacity=8, name="t")
+    slo.observe("hit", 1, True)
+    rec.record({
+        "session": "s", "builder": "b", "correlation_id": "s#1",
+        "ok": True, "error": None, "tier": "patched", "path": "hit",
+        "retries": 0, "cycles": 1, "deadline": None,
+        "deadline_slack": None, "rungs": [0], "exec_engine": "block",
+        "chaos": (), "breaker_opens": 0, "wall_us": 1.0, "spans": (),
+    })
+    assert slo.observed == 1 and len(rec) == 1
+    report.reset()
+    assert slo.observed == 0 and len(rec) == 0

@@ -116,7 +116,7 @@ class TestBadArguments:
     def test_registry_of_reports_matches_cli(self):
         assert set(report.REPORTS) == {
             "table1", "fig4", "fig5", "fig6", "fig7", "blur", "usedops",
-            "telemetry", "hot", "cache", "analysis",
+            "telemetry", "hot", "cache", "analysis", "slo",
         }
 
 

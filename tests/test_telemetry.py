@@ -124,6 +124,31 @@ class TestMetrics:
         assert snap["compile.generated_instructions"]["sum"] == 40
         assert snap["compile.latency.cold"]["sum"] == 12_000
 
+    def test_event_log_resize_keeps_newest(self):
+        log = EventLog("e", capacity=8)
+        for i in range(8):
+            log.append(i)
+        log.resize(4)
+        assert log.capacity == 4
+        assert list(log) == [4, 5, 6, 7]
+        assert log.total == 8                  # exact total survives
+        log.resize(16)
+        log.append(99)
+        assert list(log) == [4, 5, 6, 7, 99]
+        with pytest.raises(ValueError):
+            log.resize(0)
+
+    def test_histogram_exemplars_capture_trace_ids(self):
+        h = Histogram("lat", (10, 100))
+        h.record(5)                            # no ambient context: none
+        with metrics.exemplar_context("req#1"):
+            h.record(50)
+        snap = h.snapshot()
+        assert snap["exemplars"] == {1: [50, "req#1"]}
+        assert metrics.current_exemplar() is None
+        h.reset()
+        assert "exemplars" not in h.snapshot()
+
 
 # -- legacy report views over the registry ------------------------------------
 
@@ -212,6 +237,28 @@ class TestTracer:
         assert len(t.spans) == 2 and t.dropped == 2
         t.clear()
         assert t.spans == [] and t.dropped == 0 and t.cursor == 0
+
+    def test_dropped_spans_feed_the_registry_counter(self):
+        # Silent span loss was a bug: retention-capped drops must be
+        # visible in scrapes, not only on the tracer instance.
+        counter = metrics.REGISTRY.counter("telemetry.trace.dropped_spans")
+        base = counter.value
+        t = Tracer("on")
+        t.MAX_SPANS = 1
+        for i in range(4):
+            t.instant(f"e{i}")
+        assert counter.value - base == 3
+
+    def test_dropped_spans_surface_in_export_summary(self):
+        t = Tracer("on")
+        t.MAX_SPANS = 2
+        for i in range(5):
+            t.instant(f"e{i}")
+        text = export.summary(t)
+        assert "3 spans dropped" in text
+        t2 = Tracer("on")
+        t2.instant("kept")
+        assert "spans dropped" not in export.summary(t2)
 
     def test_null_tracer_is_inert(self):
         assert not NULL.enabled

@@ -214,3 +214,58 @@ class TestTemplateStore:
         assert store.stats()["templates"] == len(pairs)
         store.clear()
         assert store.stats()["templates"] == 0
+
+
+class TestObservabilityPlane:
+    def test_scrape_while_serving_hammer(self):
+        """8 threads — half serving real requests, half scraping the
+        OpenMetrics exposition, SLO status, and flight-recorder bundles
+        concurrently: every scrape must parse and validate cleanly and
+        no serving request may fail."""
+        from repro.obs import workload
+        from repro.obs.openmetrics import parse, render, validate
+        from repro.serving.engine import Engine
+
+        engine = Engine(workload.PROGRAM)
+        done = threading.Event()
+        servers = THREADS // 2
+        served = [0] * servers
+        failures = []
+
+        def serve(i):
+            with engine.session(f"hammer-{i}") as session:
+                for outcome in workload.replay(
+                        session, workload.generate(25, seed=i)):
+                    if not outcome.ok:
+                        failures.append(outcome.error)
+                    served[i] += 1
+
+        def scrape(_i):
+            while not done.is_set():
+                problems = validate(parse(render()))
+                assert problems == [], problems
+                status = engine.slo.status()
+                assert status.observed >= 0
+                bundle = engine.recorder.bundle()
+                assert bundle["recorded_total"] >= len(bundle["records"])
+
+        finished = []
+
+        def worker(i):
+            if i < servers:
+                try:
+                    serve(i)
+                finally:
+                    finished.append(i)
+                    if len(finished) == servers:
+                        done.set()       # unparks scrapers even on error
+            else:
+                scrape(i)
+
+        try:
+            _hammer(worker)
+        finally:
+            done.set()
+        assert not failures, failures
+        assert engine.slo.status().observed == servers * 25
+        assert engine.recorder.bundle()["recorded_total"] == servers * 25
